@@ -1,0 +1,41 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each benchmark runs one figure's full sweep exactly once (a sweep is already
+tens of simulated cluster runs), prints the same rows/series the paper
+reports, and writes the rendered table under ``benchmarks/_output/`` so the
+series survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "_output")
+
+
+@pytest.fixture
+def figure_bench(benchmark):
+    """Run a figure builder once under pytest-benchmark and report it."""
+
+    def run(builder, expect_claims: bool = True):
+        from repro.experiments.plots import render_figure
+
+        fig = benchmark.pedantic(builder, rounds=1, iterations=1)
+        table = fig.render_table() + "\n\n" + render_figure(fig)
+        print()
+        print(table)
+        os.makedirs(OUTPUT_DIR, exist_ok=True)
+        slug = fig.figure_id.lower().replace(" ", "_")
+        with open(os.path.join(OUTPUT_DIR, f"{slug}.txt"), "w") as f:
+            f.write(table + "\n")
+        # Every series must be non-empty and strictly positive times.
+        for series in fig.series.values():
+            assert series.y, f"empty series {series.name} in {fig.figure_id}"
+            assert all(y >= 0 for y in series.y)
+        if expect_claims:
+            assert fig.claims, f"{fig.figure_id} has no paper claims recorded"
+        return fig
+
+    return run

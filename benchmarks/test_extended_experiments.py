@@ -1,0 +1,58 @@
+"""Beyond-paper experiments: bursts, imbalance, fairness, stragglers, chains."""
+
+from repro.experiments.extended import (
+    figureE1_burst_response_percentiles,
+    figureE2_scheduling_imbalance,
+    figureE3_multitenant_fairness,
+    figureE4_straggler_mitigation,
+    figureE5_query_plan_strategies,
+)
+
+
+def test_extended_e1_burst_percentiles(figure_bench):
+    fig = figure_bench(figureE1_burst_response_percentiles, expect_claims=False)
+    # MRapid dominates at every percentile.
+    for q in fig.series["stock-auto"].x:
+        assert fig.series["MRapid-speculative"].at(q) < fig.series["stock-auto"].at(q)
+
+
+def test_extended_e2_imbalance(figure_bench):
+    fig = figure_bench(figureE2_scheduling_imbalance, expect_claims=False)
+    for x in fig.series["Hadoop-Distributed"].x:
+        assert fig.series["MRapid-D+"].at(x) <= fig.series["Hadoop-Distributed"].at(x)
+
+
+def test_extended_e3_fairness(figure_bench):
+    fig = figure_bench(figureE3_multitenant_fairness, expect_claims=False)
+    series = fig.series["ad-hoc job time"]
+    assert series.at("25% guaranteed queue") < series.at("single FIFO queue")
+
+
+def test_extended_e4_stragglers(figure_bench):
+    fig = figure_bench(figureE4_straggler_mitigation, expect_claims=False)
+    with_spec = fig.series["task speculation on"]
+    without = fig.series["no task speculation"]
+    assert with_spec.at(8.0) < without.at(8.0)
+    # Speculation bounds the damage: 8x slowdown barely worse than 4x.
+    assert with_spec.at(8.0) < 1.3 * with_spec.at(2.0)
+
+
+def test_extended_e5_chain_strategies(figure_bench):
+    fig = figure_bench(figureE5_query_plan_strategies, expect_claims=False)
+    series = fig.series["end-to-end"]
+    assert series.at("speculative") < series.at("stock-auto")
+    assert series.at("uplus") < series.at("stock-auto")
+
+
+def test_extended_e6_equation1_validation(figure_bench):
+    from repro.experiments.extended import figureE6_equation1_validation
+
+    fig = figure_bench(figureE6_equation1_validation, expect_claims=False)
+    sim = fig.series["simulated"]
+    eq1 = fig.series["Equation 1"]
+    for x in sim.x:
+        # Eq. 1 under-predicts (it omits heartbeats/contention) but stays
+        # within 40% and tracks the monotone growth.
+        assert eq1.at(x) <= sim.at(x)
+        assert eq1.at(x) >= 0.6 * sim.at(x)
+    assert sim.y == sorted(sim.y) and eq1.y == sorted(eq1.y)

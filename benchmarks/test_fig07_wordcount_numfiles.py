@@ -1,0 +1,19 @@
+"""Figure 7: WordCount elapsed time vs number of 10 MB input files.
+
+Paper headline: D+ improves on stock distributed Hadoop by 36% at 8 files;
+U+ improves on stock Uber by 59% at 4 files; D+ and U+ cross near 8 files.
+"""
+
+from repro.experiments.figures import figure7
+from repro.experiments.harness import ALL_MODES, HADOOP_UBER, MRAPID_DPLUS, MRAPID_UPLUS
+
+
+def test_figure7_wordcount_file_count_sweep(figure_bench):
+    fig = figure_bench(figure7)
+    assert set(fig.series) == set(ALL_MODES)
+    # Shape: U+ wins small jobs, D+ wins past the crossover, Uber degrades
+    # linearly with map count.
+    assert fig.series[MRAPID_UPLUS].at(1) < fig.series[MRAPID_DPLUS].at(1)
+    assert fig.series[MRAPID_DPLUS].at(16) < fig.series[MRAPID_UPLUS].at(16)
+    uber = fig.series[HADOOP_UBER]
+    assert uber.at(16) > 3 * uber.at(2)

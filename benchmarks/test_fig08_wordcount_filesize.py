@@ -1,0 +1,15 @@
+"""Figure 8: WordCount elapsed time vs file size (4 files)."""
+
+from repro.experiments.figures import figure8
+from repro.experiments.harness import ALL_MODES, HADOOP_DIST, MRAPID_DPLUS
+
+
+def test_figure8_wordcount_file_size_sweep(figure_bench):
+    fig = figure_bench(figure8)
+    assert set(fig.series) == set(ALL_MODES)
+    # D+ beats stock distributed at every size.
+    for x in fig.series[HADOOP_DIST].x:
+        assert fig.series[MRAPID_DPLUS].at(x) < fig.series[HADOOP_DIST].at(x)
+    # Times grow monotonically with input size in every mode.
+    for series in fig.series.values():
+        assert series.y == sorted(series.y)

@@ -1,0 +1,12 @@
+"""Figure 9: WordCount with 60 MB total input split 2/3/4 ways."""
+
+from repro.experiments.figures import figure9
+from repro.experiments.harness import ALL_MODES, MRAPID_DPLUS, MRAPID_UPLUS
+
+
+def test_figure9_fixed_total_input(figure_bench):
+    fig = figure_bench(figure9)
+    assert set(fig.series) == set(ALL_MODES)
+    # More parallelism over the same bytes helps both MRapid modes.
+    for name in (MRAPID_DPLUS, MRAPID_UPLUS):
+        assert fig.series[name].at(4) <= fig.series[name].at(2)

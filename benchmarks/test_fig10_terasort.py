@@ -1,0 +1,12 @@
+"""Figure 10: TeraSort with 100k..1600k rows over 4 map tasks."""
+
+from repro.experiments.figures import figure10
+from repro.experiments.harness import ALL_MODES, MRAPID_DPLUS, MRAPID_UPLUS
+
+
+def test_figure10_terasort_rows_sweep(figure_bench):
+    fig = figure_bench(figure10)
+    assert set(fig.series) == set(ALL_MODES)
+    # Paper: U+ always beats D+ for this I/O-light identity workload.
+    for x in fig.series[MRAPID_UPLUS].x:
+        assert fig.series[MRAPID_UPLUS].at(x) < fig.series[MRAPID_DPLUS].at(x)

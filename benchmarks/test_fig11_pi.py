@@ -1,0 +1,12 @@
+"""Figure 11: PI (quasi-Monte Carlo) with 100m..1600m samples."""
+
+from repro.experiments.figures import figure11
+from repro.experiments.harness import ALL_MODES, HADOOP_DIST, HADOOP_UBER
+
+
+def test_figure11_pi_samples_sweep(figure_bench):
+    fig = figure_bench(figure11)
+    assert set(fig.series) == set(ALL_MODES)
+    # Stock crossover: Uber wins tiny sample counts, Distributed wins large.
+    assert fig.series[HADOOP_UBER].at(100e6) < fig.series[HADOOP_DIST].at(100e6)
+    assert fig.series[HADOOP_DIST].at(1600e6) < fig.series[HADOOP_UBER].at(1600e6)

@@ -1,0 +1,12 @@
+"""Figure 12: sensitivity to containers-per-core (A2 cluster)."""
+
+from repro.experiments.figures import figure12
+from repro.experiments.harness import ALL_MODES, HADOOP_DIST, MRAPID_DPLUS, MRAPID_UPLUS
+
+
+def test_figure12_containers_per_core(figure_bench):
+    fig = figure_bench(figure12)
+    assert set(fig.series) == set(ALL_MODES)
+    # Stock degrades when the cluster is configured denser; MRapid does not.
+    assert fig.series[HADOOP_DIST].at(2) > fig.series[HADOOP_DIST].at(1)
+    assert abs(fig.series[MRAPID_UPLUS].at(2) - fig.series[MRAPID_UPLUS].at(1)) < 1.0

@@ -1,0 +1,11 @@
+"""Figure 13: equal-cost cluster shapes (10-node A2 vs 5-node A3)."""
+
+from repro.experiments.figures import figure13
+
+
+def test_figure13_equal_cost_clusters(figure_bench):
+    fig = figure_bench(figure13)
+    assert set(fig.series) == {"D+ A2x10", "D+ A3x5", "U+ A2x10", "U+ A3x5"}
+    # U+ runs in one container, so fatter nodes always win for it.
+    for x in fig.series["U+ A3x5"].x:
+        assert fig.series["U+ A3x5"].at(x) < fig.series["U+ A2x10"].at(x)

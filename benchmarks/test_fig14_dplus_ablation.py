@@ -1,0 +1,11 @@
+"""Figure 14: contribution of each D+ optimization (leave-one-out)."""
+
+from repro.experiments.figures import figure14
+
+
+def test_figure14_dplus_contributions(figure_bench):
+    fig = figure_bench(figure14)
+    shares = {name: series.at("share") for name, series in fig.series.items()}
+    assert abs(sum(shares.values()) - 100.0) < 1e-6
+    # The new scheduler and the AM pool carry the bulk of the win.
+    assert shares["scheduler (round-robin)"] + shares["submission framework"] > 50.0

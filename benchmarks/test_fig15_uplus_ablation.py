@@ -1,0 +1,12 @@
+"""Figure 15: contribution of each U+ optimization (leave-one-out)."""
+
+from repro.experiments.figures import figure15
+
+
+def test_figure15_uplus_contributions(figure_bench):
+    fig = figure_bench(figure15)
+    shares = {name: series.at("share") for name, series in fig.series.items()}
+    assert abs(sum(shares.values()) - 100.0) < 1e-6
+    # Parallel map execution dominates, as in the paper.
+    ordered = sorted(shares, key=shares.get, reverse=True)
+    assert ordered[0] == "parallel execution"

@@ -1,0 +1,9 @@
+"""Table II: the Azure instance catalog every experiment runs on."""
+
+from repro.experiments.figures import table2
+
+
+def test_table2_instance_catalog(figure_bench):
+    fig = figure_bench(table2)
+    assert set(fig.series) == {"A1", "A2", "A3"}
+    assert all(claim.holds for claim in fig.claims)

@@ -1,0 +1,267 @@
+"""Command-line interface.
+
+::
+
+    python -m repro figures                 # list reproducible figures
+    python -m repro figure figure7          # regenerate one figure (chart+table)
+    python -m repro report [out.md]         # full EXPERIMENTS.md
+    python -m repro run --workload wordcount --files 4 --mb 10 --mode uplus
+    python -m repro trace --rate 3 --minutes 5   # burst replay, stock vs MRapid
+    python -m repro validate                # run the functional engine checks
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import Optional, Sequence
+
+from .config import a2_cluster, a3_cluster
+from .core import (
+    build_mrapid_cluster,
+    build_stock_cluster,
+    run_short_job,
+    run_speculative,
+    run_stock_job,
+)
+from .mapreduce import SimJobSpec
+from .workloads import TERASORT_PROFILE, WORDCOUNT_PROFILE, pi_profile
+
+WORKLOADS = {"wordcount": WORDCOUNT_PROFILE, "terasort": TERASORT_PROFILE}
+
+
+def _cluster_spec(name: str):
+    if name == "a3":
+        return a3_cluster(4)
+    if name == "a2":
+        return a2_cluster(9)
+    raise SystemExit(f"unknown cluster {name!r} (use a3 or a2)")
+
+
+def _all_figures() -> dict:
+    from .experiments import ALL_FIGURES
+    from .experiments.extended import EXTENDED_FIGURES
+
+    return {**ALL_FIGURES, **EXTENDED_FIGURES}
+
+
+def cmd_figures(_args) -> int:
+    for name, builder in _all_figures().items():
+        doc = (builder.__doc__ or "").strip().splitlines()
+        print(f"{name:10s} {doc[0] if doc else ''}")
+    return 0
+
+
+def cmd_figure(args) -> int:
+    from .experiments.plots import render_figure
+
+    builder = _all_figures().get(args.name)
+    if builder is None:
+        print(f"unknown figure {args.name!r}; try `python -m repro figures`",
+              file=sys.stderr)
+        return 2
+    fig = builder()
+    print(fig.render_table())
+    print()
+    print(render_figure(fig))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .experiments.report import generate_report
+
+    text = generate_report()
+    with open(args.output, "w") as f:
+        f.write(text)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    spec_builder_cluster = _cluster_spec(args.cluster)
+    if args.workload == "pi":
+        profile = pi_profile(args.pi_samples, args.files)
+    else:
+        profile = WORKLOADS.get(args.workload)
+        if profile is None:
+            raise SystemExit(f"unknown workload {args.workload!r}")
+
+    if args.mode in ("distributed", "uber", "auto"):
+        cluster = build_stock_cluster(spec_builder_cluster)
+    else:
+        cluster = build_mrapid_cluster(spec_builder_cluster)
+    paths = cluster.load_input_files("/cli", args.files, args.mb)
+    spec = SimJobSpec(args.workload, tuple(paths), profile)
+
+    if args.mode in ("distributed", "uber"):
+        result = run_stock_job(cluster, spec, args.mode)
+    elif args.mode == "auto":
+        from .mapreduce import MODE_AUTO, JobClient
+
+        result = JobClient(cluster).run(spec, MODE_AUTO)
+    elif args.mode in ("dplus", "uplus"):
+        result = run_short_job(cluster, spec, args.mode)
+    elif args.mode == "speculative":
+        outcome = run_speculative(cluster, spec)
+        result = outcome.winner
+        print(f"speculation winner: {outcome.winner_mode} "
+              f"(killed {outcome.killed_mode})")
+    else:
+        raise SystemExit(f"unknown mode {args.mode!r}")
+
+    print(f"job      : {result.job_name} [{result.mode}]")
+    print(f"elapsed  : {result.elapsed:.2f}s  (AM overhead {result.am_overhead:.2f}s, "
+          f"{result.num_waves} wave(s))")
+    print(f"maps     : {len(result.maps)} on nodes {sorted(result.nodes_used())}")
+    print(f"locality : {result.locality_counts()}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .trace import (
+        STRATEGY_SPECULATIVE,
+        STRATEGY_STOCK,
+        default_short_job_mix,
+        poisson_trace,
+        replay_trace,
+    )
+
+    mix = default_short_job_mix()
+    trace = poisson_trace(mix, args.rate, args.minutes * 60.0, seed=args.seed)
+    print(f"{len(trace)} job arrivals over {args.minutes} min "
+          f"(rate {args.rate}/min, seed {args.seed})")
+
+    stock = build_stock_cluster(_cluster_spec(args.cluster))
+    print(replay_trace(stock, trace, STRATEGY_STOCK).summary())
+    mrapid = build_mrapid_cluster(_cluster_spec(args.cluster))
+    print(replay_trace(mrapid, trace, STRATEGY_SPECULATIVE).summary())
+    return 0
+
+
+def cmd_spark(args) -> int:
+    """Run the §VI Spark-migration ladder on a simulated cluster."""
+    from .core import ChainStage, run_chain
+    from .sparklite import SparkLiteRunner, SparkStage
+    from .workloads import WORDCOUNT_PROFILE
+
+    def mr_plan(cluster):
+        raw = cluster.load_input_files("/in", args.files, args.mb)
+        return [ChainStage("scan", WORDCOUNT_PROFILE, tuple(raw)),
+                ChainStage("agg", WORDCOUNT_PROFILE, ("@scan",))]
+
+    def spark_plan(cluster):
+        raw = cluster.load_input_files("/in", args.files, args.mb)
+        return [SparkStage("scan", WORDCOUNT_PROFILE.map_cpu_s_per_mb,
+                           WORDCOUNT_PROFILE.map_output_ratio, inputs=tuple(raw)),
+                SparkStage("agg", 0.15, 0.2, parents=("scan",))]
+
+    stock = build_stock_cluster(_cluster_spec(args.cluster))
+    print(f"MR chain / stock   : {run_chain(stock, mr_plan(stock), 'stock').elapsed:6.1f}s")
+    mrapid = build_mrapid_cluster(_cluster_spec(args.cluster))
+    print(f"MR chain / MRapid  : {run_chain(mrapid, mr_plan(mrapid), 'speculative').elapsed:6.1f}s")
+    cold_c = build_stock_cluster(_cluster_spec(args.cluster))
+    cold = SparkLiteRunner(cold_c, num_executors=args.executors).run(spark_plan(cold_c))
+    print(f"Spark-lite cold    : {cold.elapsed:6.1f}s (startup {cold.startup_overhead:.1f}s)")
+    warm_c = build_mrapid_cluster(_cluster_spec(args.cluster))
+    warm = SparkLiteRunner(warm_c, num_executors=args.executors,
+                           warm_pool=True).run(spark_plan(warm_c))
+    print(f"Spark-lite warm    : {warm.elapsed:6.1f}s (startup {warm.startup_overhead:.1f}s)")
+    return 0
+
+
+def cmd_tune(args) -> int:
+    """Auto-tune U+ parallelism for a representative WordCount job."""
+    from .core import tune_maps_per_vcore
+    from .experiments.figures import wordcount_input
+
+    report = tune_maps_per_vcore(
+        _cluster_spec(args.cluster), wordcount_input(args.files, args.mb),
+        candidates=tuple(args.candidates))
+    print(report.table())
+    return 0
+
+
+def cmd_validate(_args) -> int:
+    from .workloads import (
+        estimate_pi,
+        generate_files,
+        reference_wordcount,
+        run_terasort,
+        run_wordcount,
+        teragen,
+        teravalidate,
+    )
+
+    files = generate_files(2, 0.05, seed=1)
+    wc = run_wordcount(files, parallel_maps=2)
+    ok_wc = wc.as_dict() == reference_wordcount(files)
+    print(f"wordcount matches oracle : {ok_wc}")
+
+    rows = teragen(5000, seed=3, num_files=4)
+    ok_ts, total = teravalidate(run_terasort(rows, num_reduces=4))
+    print(f"terasort globally sorted : {ok_ts} ({total} rows)")
+
+    pi = estimate_pi(4, 50_000)
+    ok_pi = abs(pi - math.pi) < 5e-3
+    print(f"pi estimate converges    : {ok_pi} (pi ~ {pi:.4f})")
+    return 0 if (ok_wc and ok_ts and ok_pi) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="MRapid (IPPS 2017) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("figures", help="list reproducible figures").set_defaults(fn=cmd_figures)
+
+    p = sub.add_parser("figure", help="regenerate one figure")
+    p.add_argument("name")
+    p.set_defaults(fn=cmd_figure)
+
+    p = sub.add_parser("report", help="write the EXPERIMENTS.md report")
+    p.add_argument("output", nargs="?", default="EXPERIMENTS.md")
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("run", help="run one job on a simulated cluster")
+    p.add_argument("--workload", default="wordcount",
+                   choices=["wordcount", "terasort", "pi"])
+    p.add_argument("--files", type=int, default=4)
+    p.add_argument("--mb", type=float, default=10.0)
+    p.add_argument("--pi-samples", type=float, default=400e6)
+    p.add_argument("--mode", default="speculative",
+                   choices=["distributed", "uber", "auto", "dplus", "uplus",
+                            "speculative"])
+    p.add_argument("--cluster", default="a3", choices=["a3", "a2"])
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("trace", help="replay a bursty short-job trace")
+    p.add_argument("--rate", type=float, default=3.0, help="jobs per minute")
+    p.add_argument("--minutes", type=float, default=5.0)
+    p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--cluster", default="a3", choices=["a3", "a2"])
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("spark", help="run the §VI Spark-migration ladder")
+    p.add_argument("--files", type=int, default=4)
+    p.add_argument("--mb", type=float, default=10.0)
+    p.add_argument("--executors", type=int, default=3)
+    p.add_argument("--cluster", default="a3", choices=["a3", "a2"])
+    p.set_defaults(fn=cmd_spark)
+
+    p = sub.add_parser("tune", help="auto-tune U+ maps-per-vcore by simulation")
+    p.add_argument("--files", type=int, default=8)
+    p.add_argument("--mb", type=float, default=10.0)
+    p.add_argument("--candidates", type=int, nargs="+", default=[1, 2, 3])
+    p.add_argument("--cluster", default="a3", choices=["a3", "a2"])
+    p.set_defaults(fn=cmd_tune)
+
+    sub.add_parser("validate",
+                   help="run the real workloads and verify their outputs"
+                   ).set_defaults(fn=cmd_validate)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)

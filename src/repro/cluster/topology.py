@@ -1,0 +1,96 @@
+"""Rack topology and locality classification (Hadoop network-distance style)."""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Optional, Sequence
+
+from .node import Node
+
+
+class Locality(enum.IntEnum):
+    """Container-placement locality relative to a task's input data.
+
+    Order matters: lower is better, and the D+ scheduler serves requests in
+    NODE_LOCAL -> RACK_LOCAL -> ANY order (paper Algorithm 1, line 1).
+    """
+
+    NODE_LOCAL = 0
+    RACK_LOCAL = 1
+    ANY = 2
+
+
+class Topology:
+    """Node/rack membership with Hadoop-style network distances."""
+
+    def __init__(self, nodes: Sequence[Node]) -> None:
+        if not nodes:
+            raise ValueError("topology needs at least one node")
+        ids = [n.node_id for n in nodes]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate node ids in topology")
+        self._nodes: dict[str, Node] = {n.node_id: n for n in nodes}
+        self._racks: dict[str, list[Node]] = {}
+        for node in nodes:
+            self._racks.setdefault(node.rack, []).append(node)
+
+    # -- lookup ------------------------------------------------------------
+    def node(self, node_id: str) -> Node:
+        return self._nodes[node_id]
+
+    @property
+    def nodes(self) -> list[Node]:
+        return list(self._nodes.values())
+
+    @property
+    def node_ids(self) -> list[str]:
+        return list(self._nodes.keys())
+
+    @property
+    def racks(self) -> list[str]:
+        return list(self._racks.keys())
+
+    def rack_of(self, node_id: str) -> str:
+        return self._nodes[node_id].rack
+
+    def nodes_in_rack(self, rack: str) -> list[Node]:
+        return list(self._racks.get(rack, []))
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    # -- distances ------------------------------------------------------------
+    def distance(self, a: str, b: str) -> int:
+        """Hadoop network distance: 0 same node, 2 same rack, 4 off rack."""
+        if a == b:
+            return 0
+        if self.rack_of(a) == self.rack_of(b):
+            return 2
+        return 4
+
+    def locality(self, node_id: str, replica_nodes: Iterable[str]) -> Locality:
+        """Best locality of ``node_id`` relative to any of ``replica_nodes``."""
+        best = Locality.ANY
+        rack = self.rack_of(node_id)
+        for replica in replica_nodes:
+            if replica == node_id:
+                return Locality.NODE_LOCAL
+            if replica in self and self.rack_of(replica) == rack:
+                best = Locality.RACK_LOCAL
+        return best
+
+    def closest_replica(self, node_id: str, replica_nodes: Sequence[str]) -> Optional[str]:
+        """The replica holder nearest to ``node_id`` (ties: first listed)."""
+        best: Optional[str] = None
+        best_distance = 10
+        for replica in replica_nodes:
+            if replica not in self:
+                continue
+            d = self.distance(node_id, replica)
+            if d < best_distance:
+                best_distance = d
+                best = replica
+        return best

@@ -1,0 +1,204 @@
+"""Configuration: Azure instance catalog (Table II), cluster and Hadoop knobs.
+
+All times are seconds, all sizes megabytes, matching the rest of the project.
+The default constants are calibrated so the *relative* results of the paper's
+evaluation reproduce; see DESIGN.md §6 and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .cluster.resources import ResourceVector
+
+#: One HDFS block (Hadoop 2.2 default dfs.blocksize = 64 MB).
+DEFAULT_BLOCK_SIZE_MB = 64.0
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """A Microsoft Azure VM flavor (paper Table II)."""
+
+    name: str
+    cores: int
+    memory_gb: float
+    disk_gb: int
+    price_per_hour: float
+    #: Measured-ish local disk throughput for the A-series (MB/s) — Azure
+    #: standard (HDD-backed, shared) storage, far below dedicated spindles.
+    disk_read_mb_s: float = 50.0
+    disk_write_mb_s: float = 40.0
+    #: Aggregate-throughput collapse under n concurrent streams (HDD seeks):
+    #: capacity scale = 1 / (1 + penalty * (n - 1)).
+    disk_seek_penalty: float = 0.3
+    #: Effective inter-VM throughput (MB/s); 2013-era A-series networking ran
+    #: at a few hundred Mbit/s, nowhere near line rate.
+    network_mb_s: float = 25.0
+
+    @property
+    def memory_mb(self) -> int:
+        return int(self.memory_gb * 1024)
+
+    def capability(self) -> ResourceVector:
+        return ResourceVector(memory_mb=self.memory_mb, vcores=self.cores)
+
+
+#: Paper Table II: Microsoft Azure instance types. Larger A-series VMs got
+#: proportionally more storage/network bandwidth (striped standard storage),
+#: which is what makes the equal-cost comparison of Figure 13 interesting.
+INSTANCE_TYPES: dict[str, InstanceType] = {
+    "A1": InstanceType("A1", cores=1, memory_gb=1.75, disk_gb=70, price_per_hour=0.09,
+                       disk_read_mb_s=40.0, disk_write_mb_s=32.0, network_mb_s=20.0),
+    "A2": InstanceType("A2", cores=2, memory_gb=3.5, disk_gb=135, price_per_hour=0.18,
+                       disk_read_mb_s=50.0, disk_write_mb_s=40.0, network_mb_s=25.0),
+    "A3": InstanceType("A3", cores=4, memory_gb=7.0, disk_gb=285, price_per_hour=0.36,
+                       disk_read_mb_s=60.0, disk_write_mb_s=48.0, network_mb_s=30.0),
+}
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Shape of a simulated cluster: N DataNodes of one instance type."""
+
+    instance: InstanceType
+    num_datanodes: int
+    racks: int = 2
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_datanodes < 1:
+            raise ValueError("need at least one DataNode")
+        if self.racks < 1 or self.racks > self.num_datanodes:
+            raise ValueError("racks must be in [1, num_datanodes]")
+
+    @property
+    def hourly_cost(self) -> float:
+        # NameNode + DataNodes, as in the paper's equal-cost comparison.
+        return (self.num_datanodes + 1) * self.instance.price_per_hour
+
+    def total_capability(self) -> ResourceVector:
+        return self.instance.capability() * self.num_datanodes
+
+
+def a3_cluster(num_datanodes: int = 4) -> ClusterSpec:
+    """Paper's first testbed: 1 NameNode + 4 A3 DataNodes."""
+    return ClusterSpec(INSTANCE_TYPES["A3"], num_datanodes,
+                       racks=min(2, num_datanodes), name=f"A3x{num_datanodes}")
+
+
+def a2_cluster(num_datanodes: int = 9) -> ClusterSpec:
+    """Paper's second testbed: 1 NameNode + 9 A2 DataNodes."""
+    return ClusterSpec(INSTANCE_TYPES["A2"], num_datanodes,
+                       racks=min(3, num_datanodes), name=f"A2x{num_datanodes}")
+
+
+@dataclass(frozen=True)
+class HadoopConfig:
+    """Timing and sizing knobs of the simulated Hadoop 2.2 stack."""
+
+    # -- heartbeats (seconds) -------------------------------------------------
+    nm_heartbeat_s: float = 1.0        # yarn.resourcemanager.nodemanagers.heartbeat-interval-ms
+    am_heartbeat_s: float = 1.0        # MRAppMaster allocate interval
+    rpc_latency_s: float = 0.005       # one-way RPC latency
+
+    # -- container / JVM costs --------------------------------------------------
+    container_launch_s: float = 2.5    # t^l: JVM start + localization
+    am_init_s: float = 1.5             # AM parses conf, downloads splits
+    task_setup_s: float = 0.4          # per-task setup sub-phase inside the JVM
+    uber_task_setup_s: float = 0.1     # per-task setup when reusing the AM JVM
+    client_submit_s: float = 0.8       # job-file upload + submission round trips
+    task_commit_rpc_s: float = 0.05    # per-task status/commit round-trips via
+                                       # the stock RM/umbilical path; MRapid's
+                                       # RPC framework short-circuits these
+
+    # -- container sizing ----------------------------------------------------------
+    container_memory_mb: int = 1024    # mapreduce.map.memory.mb
+    container_vcores: int = 1
+    am_memory_mb: int = 1536
+    am_vcores: int = 1
+    containers_per_core: int = 1       # Fig 12 varies this via vcore multiplier
+
+    # -- MapReduce behaviour ----------------------------------------------------
+    block_size_mb: float = DEFAULT_BLOCK_SIZE_MB
+    sort_buffer_mb: float = 100.0      # mapreduce.task.io.sort.mb
+    replication: int = 3
+    slowstart_completed_maps: float = 0.05  # mapreduce.job.reduce.slowstart.completedmaps
+
+    # -- Uber thresholds (Hadoop defaults) -----------------------------------------
+    uber_max_maps: int = 9
+    uber_max_reduces: int = 1
+
+    # -- fault tolerance -------------------------------------------------------------
+    max_task_attempts: int = 4         # mapreduce.map/reduce.maxattempts
+    am_max_attempts: int = 2           # yarn.resourcemanager.am.max-attempts
+
+    # -- in-job straggler speculation (mapreduce.map.speculative) ----------------------
+    # Distinct from MRapid's *mode* speculation: this duplicates slow task
+    # attempts within one job. Off by default so the calibrated figures match
+    # a stock-configured cluster; the straggler benchmarks turn it on.
+    speculative_tasks: bool = False
+    speculative_slowness: float = 1.5  # duplicate when elapsed > 1.5x avg
+    speculative_min_completed: int = 1 # need this many finished maps first
+
+    def effective_vcores(self, physical_cores: int) -> int:
+        """Schedulable vcores a NodeManager advertises (Fig 12 knob)."""
+        return physical_cores * self.containers_per_core
+
+    def container_resource(self):
+        """The per-task container ask.
+
+        ``containers_per_core > 1`` shrinks per-container memory so the
+        cluster admits that many containers per core (how the paper's
+        Figure 12 configuration achieves 2 containers/core under Hadoop
+        2.2's memory-only DefaultResourceCalculator).
+        """
+        from .cluster.resources import ResourceVector
+
+        return ResourceVector(self.container_memory_mb // self.containers_per_core,
+                              self.container_vcores)
+
+    def with_(self, **kwargs) -> "HadoopConfig":
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class MRapidConfig:
+    """Feature switches of MRapid; each maps to an optimization the paper
+    ablates in Figures 14 and 15."""
+
+    # D+ mode (Fig 14)
+    balanced_spread: bool = True        # Algorithm 1 round-robin vs greedy
+    locality_aware: bool = True         # NodeLocal -> RackLocal -> ANY ordering
+    respond_same_heartbeat: bool = True # allocate from ClusterResource snapshot
+    use_am_pool: bool = True            # submission framework AM reuse
+
+    # U+ mode (Fig 15)
+    parallel_maps: bool = True          # multithreaded maps in the AM container
+    memory_cache: bool = True           # keep intermediate data in RAM
+    maps_per_vcore: int = 1             # n_c^m
+    memory_cache_limit_mb: float = 256.0
+
+    # shared (both modes)
+    reduce_communication: bool = True   # skip per-task commit RPCs (Figs 14/15)
+
+    # extension (paper related-work [14], LARTS): ask for the reduce
+    # container on the node holding the most map output, shrinking the
+    # shuffle. Off by default — the paper's MRapid does not include it.
+    reduce_locality_aware: bool = False
+
+    # speculation
+    speculative: bool = True
+    am_pool_size: int = 3               # paper default
+
+    def with_(self, **kwargs) -> "MRapidConfig":
+        return replace(self, **kwargs)
+
+
+#: All MRapid optimizations off == stock Hadoop behaviour (ablation anchor).
+STOCK_DPLUS = MRapidConfig(
+    balanced_spread=False, locality_aware=False,
+    respond_same_heartbeat=False, use_am_pool=False,
+    parallel_maps=False, memory_cache=False,
+    reduce_communication=False,
+)

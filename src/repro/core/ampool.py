@@ -1,0 +1,223 @@
+"""MRapid's job submission framework: proxy, AM pool, client, AMSlaves.
+
+Paper §III-C: a proxy service maintains a pool of pre-launched
+ApplicationMaster containers (3 by default). Submitting a short job picks a
+warm AM from the pool — skipping AM container allocation *and* JVM launch —
+and sends it the job over RPC. When the pool is exhausted, submissions queue
+until an AM frees up. With ``use_am_pool=False`` the framework degrades to
+the stock Figure 1 path (used by the Figure 14/15 ablations).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+
+from ..cluster.resources import ResourceVector
+from ..config import MRapidConfig
+from ..mapreduce.appmaster import DistributedAM
+from ..mapreduce.spec import JobResult, SimJobSpec
+from ..simulation.errors import Interrupt
+from ..simulation.resources import Store
+from ..yarn.records import Application, Container, next_app_id, next_container_id
+from ..yarn.resourcemanager import AMContext
+from .uplus import UPlusAM
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simcluster import SimCluster
+    from ..simulation.events import Process
+
+MODE_DPLUS = "mrapid-dplus"
+MODE_UPLUS = "mrapid-uplus"
+
+_slot_ids = itertools.count(1)
+
+
+class AMSlave:
+    """A warm AM JVM parked on a node, ready to accept a job from the proxy."""
+
+    def __init__(self, framework: "SubmissionFramework", container: Container) -> None:
+        self.framework = framework
+        self.container = container
+        self.slot_id = next(_slot_ids)
+        self.ready = framework.cluster.env.event()
+
+    @property
+    def node_id(self) -> str:
+        return self.container.node_id
+
+    def mark_ready(self) -> None:
+        if not self.ready.triggered:
+            self.ready.succeed(self.node_id)
+
+
+class JobHandle:
+    """Client-side handle: wait on ``.proc`` for the JobResult, or kill."""
+
+    def __init__(self, cluster: "SimCluster", spec: SimJobSpec, mode: str) -> None:
+        self.cluster = cluster
+        self.spec = spec
+        self.mode = mode
+        self.proc: Optional["Process"] = None
+        self.result: Optional[JobResult] = None
+        self._job_proc: Optional["Process"] = None
+        self._app: Optional[Application] = None
+
+    def kill(self, cause: Any = "speculative loser") -> None:
+        """Terminate the job (paper §III-C step 6). Idempotent."""
+        if self.result is not None and self.result.finish_time > 0 and not self.result.killed:
+            return  # already finished
+        if self._job_proc is not None and self._job_proc.is_alive:
+            self._job_proc.defuse()
+            self._job_proc.interrupt(cause)
+        elif self._app is not None:
+            self.cluster.rm.kill_application(self._app, cause)
+
+
+class SubmissionFramework:
+    """Proxy + client + AM pool, bound to one simulated cluster."""
+
+    def __init__(self, cluster: "SimCluster", mrapid: Optional[MRapidConfig] = None) -> None:
+        from .decision import DecisionMaker  # local import: avoid cycle
+
+        self.cluster = cluster
+        self.mrapid = mrapid if mrapid is not None else MRapidConfig()
+        self.pool: Store = Store(cluster.env)
+        self.slaves: list[AMSlave] = []
+        #: Shared across all speculative submissions on this cluster, so the
+        #: second run of a known job skips the dual launch (§III-C step 2).
+        self.decision_maker = DecisionMaker()
+        if self.mrapid.use_am_pool:
+            self._fill_pool()
+
+    # -- pool bootstrap -----------------------------------------------------
+    def _fill_pool(self) -> None:
+        """Reserve and pre-launch ``am_pool_size`` AMs, spread across nodes."""
+        env = self.cluster.env
+        conf = self.cluster.conf
+        nodes = sorted(self.cluster.rm.nodes.values(),
+                       key=lambda n: (-n.available.memory_mb, n.node_id))
+        am_resource = ResourceVector(conf.am_memory_mb, conf.am_vcores)
+        for i in range(self.mrapid.am_pool_size):
+            node = nodes[i % len(nodes)]
+            if not node.can_fit(am_resource):
+                candidates = [n for n in nodes if n.can_fit(am_resource)]
+                if not candidates:
+                    break  # pool smaller than configured; cluster too tight
+                node = candidates[0]
+            container = Container(next_container_id(), node.node_id, am_resource,
+                                  app_id="ampool")
+            node.allocate(am_resource)
+            slave = AMSlave(self, container)
+            self.slaves.append(slave)
+            # The proxy is a long-running service: its AMs were launched when
+            # the cluster came up, long before any short job arrives, so the
+            # pool is warm at t=0 (launch cost paid outside the measured
+            # window — that is the whole point of reusing AMs).
+            slave.mark_ready()
+            self.pool.put(slave)
+
+    # -- submission ---------------------------------------------------------------
+    def submit(self, spec: SimJobSpec, mode: str) -> JobHandle:
+        """Submit a short job in ``mode`` (MODE_DPLUS or MODE_UPLUS)."""
+        if mode not in (MODE_DPLUS, MODE_UPLUS):
+            raise ValueError(f"unknown MRapid mode {mode!r}")
+        handle = JobHandle(self.cluster, spec, mode)
+        body = self._run_pooled(spec, mode, handle) if self.mrapid.use_am_pool \
+            else self._run_unpooled(spec, mode, handle)
+        handle.proc = self.cluster.env.process(
+            body, name=f"mrapid-{spec.name}-{mode}")
+        return handle
+
+    def run(self, spec: SimJobSpec, mode: str) -> JobResult:
+        handle = self.submit(spec, mode)
+        self.cluster.env.run(until=handle.proc)
+        return handle.proc.value
+
+    # -- runners -----------------------------------------------------------------
+    def _make_am(self, spec: SimJobSpec, mode: str, result: JobResult):
+        commit_rpc_s = (0.0 if self.mrapid.reduce_communication
+                        else self.cluster.conf.task_commit_rpc_s)
+        if mode == MODE_DPLUS:
+            return DistributedAM(self.cluster, spec, result,
+                                 commit_rpc_s=commit_rpc_s,
+                                 reduce_locality=self.mrapid.reduce_locality_aware)
+        return UPlusAM(self.cluster, spec, result, self.mrapid)
+
+    def _run_pooled(self, spec: SimJobSpec, mode: str, handle: JobHandle) -> Generator:
+        env = self.cluster.env
+        conf = self.cluster.conf
+        rm = self.cluster.rm
+        app_id = next_app_id("mrapid")
+        result = JobResult(app_id=app_id, job_name=spec.name, mode=mode,
+                           submit_time=env.now)
+        handle.result = result
+
+        # Client: job id from HDFS, upload jar + conf, submit to proxy.
+        yield env.timeout(conf.client_submit_s)
+
+        # Proxy: pick a warm AM (waits when the pool is empty).
+        slave = yield self.pool.get()
+        try:
+            # Proxy -> AMSlave RPC carrying the job description.
+            yield env.timeout(conf.rpc_latency_s)
+
+            app = Application(app_id=app_id, name=spec.name,
+                              am_resource=slave.container.resource,
+                              runner=lambda ctx: iter(()))
+            app.submit_time = result.submit_time
+            rm.apps[app_id] = app
+            rm._ready[app_id] = []
+            handle._app = app
+
+            ctx = AMContext(rm, app, slave.container)
+            am = self._make_am(spec, mode, result)
+            job_proc = env.process(am.run(ctx), name=f"am-{app_id}")
+            handle._job_proc = job_proc
+            try:
+                final: JobResult = yield job_proc
+            except Interrupt:
+                result.killed = True
+                result.finish_time = env.now
+                return result
+            except Exception:
+                result.failed = True
+                result.finish_time = env.now
+                return result
+            finally:
+                rm.scheduler.remove_app(app_id)
+                rm.apps.pop(app_id, None)
+                rm._ready.pop(app_id, None)
+            return final
+        finally:
+            # The AM survives the job and goes back to the pool. (Plain call:
+            # an unbounded Store admits immediately, and yielding inside a
+            # finally block would break generator close()).
+            self.pool.put(slave)
+
+    def _run_unpooled(self, spec: SimJobSpec, mode: str, handle: JobHandle) -> Generator:
+        """Figure 1 path: allocate + launch a fresh AM for this job."""
+        env = self.cluster.env
+        conf = self.cluster.conf
+        app_id = next_app_id("mrapid")
+        result = JobResult(app_id=app_id, job_name=spec.name, mode=mode,
+                           submit_time=env.now)
+        handle.result = result
+
+        yield env.timeout(conf.client_submit_s)
+        am = self._make_am(spec, mode, result)
+        app = Application(
+            app_id=app_id,
+            name=spec.name,
+            am_resource=ResourceVector(conf.am_memory_mb, conf.am_vcores),
+            runner=am.run,
+        )
+        handle._app = app
+        self.cluster.rm.submit_application(app)
+        try:
+            final: JobResult = yield app.finished
+        except Exception:
+            result.killed = True
+            result.finish_time = env.now
+            return result
+        return final

@@ -1,0 +1,58 @@
+"""ClusterResource: the RM-side live snapshot the D+ scheduler reads.
+
+Paper §III-A / Figure 3 step 2: "the RS can allocate resources from Cluster
+Resource, which is a special structure designed to store the current
+resource information of each node ... updated by each heartbeat, so it is
+sufficient to represent the latest resource status."
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..cluster.resources import ResourceVector, dominant_resource
+from ..yarn.records import NodeState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..yarn.resourcemanager import ResourceManager
+
+
+class ClusterResource:
+    """Aggregated, always-current view of per-node availability."""
+
+    def __init__(self, rm: "ResourceManager") -> None:
+        self._rm = rm
+
+    @property
+    def nodes(self) -> list[NodeState]:
+        return list(self._rm.nodes.values())
+
+    def total_capability(self) -> ResourceVector:
+        return self._rm.total_capability()
+
+    def total_used(self) -> ResourceVector:
+        return self._rm.total_used()
+
+    def dominant(self) -> str:
+        """The cluster-wide dominant resource ('memory' or 'vcores')."""
+        return dominant_resource(self.total_used(), self.total_capability())
+
+    def nodes_by_idleness(self) -> list[NodeState]:
+        """Nodes sorted by *available dominant resource*, descending
+        (Algorithm 1 line 4), node-id tie-break for determinism."""
+        dom = self.dominant()
+        return sorted(
+            self.nodes,
+            key=lambda n: (-n.available.component(dom), n.node_id),
+        )
+
+    def free_containers(self, demand: ResourceVector) -> int:
+        """How many ``demand``-sized containers fit cluster-wide right now
+        (n^c in the paper's estimator)."""
+        count = 0
+        for node in self.nodes:
+            avail = node.available
+            while demand.fits_in(avail):
+                avail = avail - demand
+                count += 1
+        return count

@@ -1,0 +1,133 @@
+"""The paper's analytic cost model: Equations 1-3 and Table I notation.
+
+The decision maker feeds this with quantities measured by the profiler
+during the speculative phase (t^m, s^i, s^o) plus cluster constants
+(t^l, d^i, d^o, b^i, n^c, n_u^m) and compares t_u vs t_d.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EstimatorInputs:
+    """Table I quantities (seconds / MB / MB-per-second)."""
+
+    t_l: float      # container launch time
+    t_m: float      # map sub-phase (pure map function) time
+    s_i: float      # average map input size (MB)
+    s_o: float      # average map output size (MB)
+    d_i: float      # disk input (write) rate, MB/s
+    d_o: float      # disk output (read) rate, MB/s
+    b_i: float      # network bandwidth, MB/s
+    n_m: int        # number of map tasks
+    n_c: int        # number of available containers (cluster-wide)
+    n_u_m: int      # maps per wave in U+ mode (n^c_am * n^m_c)
+    t_reduce: float = 0.0  # identical in both modes; cancels out (paper §III-C)
+
+    def __post_init__(self) -> None:
+        if min(self.d_i, self.d_o, self.b_i) <= 0:
+            raise ValueError("rates must be positive")
+        if self.n_m < 1 or self.n_c < 1 or self.n_u_m < 1:
+            raise ValueError("counts must be >= 1")
+        if self.t_l < 0 or self.t_m < 0 or self.s_i < 0 or self.s_o < 0:
+            raise ValueError("times/sizes cannot be negative")
+
+
+def waves_distributed(inputs: EstimatorInputs) -> float:
+    """n^w = n^m / n^c, clamped to >= 1.
+
+    The paper writes the plain ratio; we clamp at one because a job cannot
+    execute in less than one wave — without the clamp a cluster with more
+    free containers than maps drives t_d below a single map's runtime and
+    the decision maker would systematically pick D+ for tiny jobs, the
+    opposite of the paper's measured behaviour (Figures 7/10/11).
+    """
+    return max(1.0, inputs.n_m / inputs.n_c)
+
+
+def estimate_full_job(inputs: EstimatorInputs, spills_twice: bool = False) -> float:
+    """Equation 1: t_job = t^AM + t^Map + t^Shuffle + t^Reduce.
+
+    ``spills_twice`` adds the merge sub-phase (s^o/d^o + s^o/d^i), which the
+    paper includes only when "the intermediate data is too large to spill
+    once".
+    """
+    n_w = waves_distributed(inputs)
+    t_am = inputs.t_l
+    per_wave = (
+        inputs.t_l
+        + inputs.s_i / inputs.d_o          # read
+        + inputs.t_m                       # map
+        + inputs.s_o / inputs.d_i          # spill
+    )
+    if spills_twice:
+        per_wave += inputs.s_o / inputs.d_o + inputs.s_o / inputs.d_i  # merge
+    t_shuffle = (inputs.s_o * inputs.n_c) / inputs.b_i
+    return t_am + per_wave * n_w + t_shuffle + inputs.t_reduce
+
+
+def estimate_uplus(inputs: EstimatorInputs) -> float:
+    """Equation 2: t_u = t^m * (n^m / n_u^m).
+
+    Setup/shuffle vanish (single container), spill/merge vanish (memory
+    cache), AM setup removed by the submission framework — only the map
+    computation waves remain. Waves clamped to >= 1 for the same reason as
+    :func:`waves_distributed`.
+    """
+    return inputs.t_m * max(1.0, inputs.n_m / inputs.n_u_m) + inputs.t_reduce
+
+
+def estimate_dplus(inputs: EstimatorInputs) -> float:
+    """Equation 3: t_d = (t^l + t^m + s^o/d^i) * (n^m/n^c) + (s^o*n^c)/b^i.
+
+    Short-job maps spill once (no merge term); shuffle overlaps the map
+    waves so only one wave's worth of transfer counts.
+    """
+    waves = waves_distributed(inputs)
+    per_wave = inputs.t_l + inputs.t_m + inputs.s_o / inputs.d_i
+    shuffle = (inputs.s_o * inputs.n_c) / inputs.b_i
+    return per_wave * waves + shuffle + inputs.t_reduce
+
+
+def pick_mode(inputs: EstimatorInputs) -> str:
+    """The decision maker's comparison: '"uplus"' iff t_u <= t_d."""
+    return "uplus" if estimate_uplus(inputs) <= estimate_dplus(inputs) else "dplus"
+
+
+def containers_for_deadline(inputs: EstimatorInputs, deadline_s: float,
+                            max_containers: int = 4096) -> int | None:
+    """Smallest n^c for which Eq. 3 predicts t_d <= deadline (None if even
+    ``max_containers`` cannot make it).
+
+    The inverse planning question behind the paper's "the threshold between
+    short job and large job varies depending upon the available resource in
+    the cluster" (§I): how much cluster does this job need to feel short?
+    """
+    if deadline_s <= 0:
+        raise ValueError("deadline must be positive")
+    for n_c in range(1, max_containers + 1):
+        trial = EstimatorInputs(**{**inputs.__dict__, "n_c": n_c})
+        if estimate_dplus(trial) <= deadline_s:
+            return n_c
+    return None
+
+
+def crossover_maps(inputs: EstimatorInputs, max_maps: int = 1024) -> int | None:
+    """Smallest n^m at which D+ overtakes U+ (None if it never does).
+
+    Useful for capacity-planning examples: with everything else fixed, U+
+    wins small jobs and D+ wins past this many map tasks.
+    """
+    for n_m in range(1, max_maps + 1):
+        trial = EstimatorInputs(
+            t_l=inputs.t_l, t_m=inputs.t_m, s_i=inputs.s_i, s_o=inputs.s_o,
+            d_i=inputs.d_i, d_o=inputs.d_o, b_i=inputs.b_i,
+            n_m=n_m, n_c=inputs.n_c, n_u_m=inputs.n_u_m,
+            t_reduce=inputs.t_reduce,
+        )
+        if estimate_dplus(trial) < estimate_uplus(trial):
+            return n_m
+    return None

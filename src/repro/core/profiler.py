@@ -1,0 +1,76 @@
+"""Execution profiler: turns live task records into estimator inputs.
+
+Stands in for the paper's ASM-bytecode profiler (§III-C step 4): it watches
+a running job's :class:`TaskRecord` list and reports average map time and
+input/output sizes as soon as at least one map attempt has finished.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ..mapreduce.spec import JobResult
+from .cluster_resource import ClusterResource
+from .estimator import EstimatorInputs
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.resources import ResourceVector
+    from ..simcluster import SimCluster
+
+
+@dataclass
+class ProfileSnapshot:
+    """What the profiler has learned about a job so far."""
+
+    maps_total: int
+    maps_finished: int
+    avg_map_compute_s: float   # t^m
+    avg_input_mb: float        # s^i
+    avg_output_mb: float       # s^o
+
+    @property
+    def has_data(self) -> bool:
+        return self.maps_finished > 0
+
+
+class JobProfiler:
+    """Profiles one running (or finished) job from its result object."""
+
+    def __init__(self, result: JobResult) -> None:
+        self.result = result
+
+    def snapshot(self) -> ProfileSnapshot:
+        finished = [m for m in self.result.maps if m.finish_time > 0]
+        n = len(finished)
+        return ProfileSnapshot(
+            maps_total=len(self.result.maps),
+            maps_finished=n,
+            avg_map_compute_s=(sum(m.phases.compute for m in finished) / n) if n else 0.0,
+            avg_input_mb=(sum(m.input_mb for m in finished) / n) if n else 0.0,
+            avg_output_mb=(sum(m.output_mb for m in finished) / n) if n else 0.0,
+        )
+
+
+def estimator_inputs_from(cluster: "SimCluster", snapshot: ProfileSnapshot,
+                          n_u_m: int, container: Optional["ResourceVector"] = None,
+                          n_maps: Optional[int] = None) -> EstimatorInputs:
+    """Combine measured quantities with cluster constants into Table I form."""
+    from ..cluster.resources import ResourceVector
+
+    conf = cluster.conf
+    inst = cluster.spec.instance
+    demand = container if container is not None else conf.container_resource()
+    n_c = max(1, ClusterResource(cluster.rm).free_containers(demand))
+    return EstimatorInputs(
+        t_l=conf.container_launch_s,
+        t_m=max(snapshot.avg_map_compute_s, 1e-6),
+        s_i=snapshot.avg_input_mb,
+        s_o=snapshot.avg_output_mb,
+        d_i=inst.disk_write_mb_s,
+        d_o=inst.disk_read_mb_s,
+        b_i=inst.network_mb_s,
+        n_m=n_maps if n_maps is not None else max(1, snapshot.maps_total),
+        n_c=n_c,
+        n_u_m=max(1, n_u_m),
+    )

@@ -1,0 +1,42 @@
+"""A real, functional MapReduce engine (the correctness substrate).
+
+Executes user map/combine/reduce functions over real data with Hadoop
+semantics: input splits, per-partition sort/spill buffers (actual temp
+files), combiners applied at spill and merge time, hash or total-order
+partitioning, and serial (Uber-style) or thread-parallel (U+-style) map
+execution.
+"""
+
+from .io import PairInputFormat, RecordSplit, TextInputFormat, approximate_pair_bytes
+from .output import is_committed, read_text_output, write_text_output
+from .partition import TotalOrderPartitioner, hash_partitioner, stable_hash
+from .runtime import LocalJobRunner
+from .sortspill import SpillBuffer, merge_sorted_streams
+from .types import (
+    Counters,
+    EngineJob,
+    JobOutput,
+    MapContext,
+    ReduceContext,
+)
+
+__all__ = [
+    "Counters",
+    "EngineJob",
+    "JobOutput",
+    "LocalJobRunner",
+    "MapContext",
+    "PairInputFormat",
+    "RecordSplit",
+    "ReduceContext",
+    "SpillBuffer",
+    "TextInputFormat",
+    "TotalOrderPartitioner",
+    "approximate_pair_bytes",
+    "hash_partitioner",
+    "is_committed",
+    "merge_sorted_streams",
+    "read_text_output",
+    "stable_hash",
+    "write_text_output",
+]

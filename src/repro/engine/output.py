@@ -1,0 +1,84 @@
+"""Output formats: commit engine results to real files, Hadoop-style.
+
+Writes one ``part-r-NNNNN`` per reduce partition plus a ``_SUCCESS`` marker
+into an output directory, with the two-phase commit discipline real Hadoop
+uses (write to a ``_temporary`` attempt dir, then rename into place) so a
+crashed writer never leaves a half-visible result.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from typing import Any, Callable
+
+from .types import JobOutput
+
+SUCCESS_MARKER = "_SUCCESS"
+TEMP_DIR = "_temporary"
+
+
+def default_formatter(key: Any, value: Any) -> str:
+    """Hadoop TextOutputFormat: key TAB value."""
+    def text(item: Any) -> str:
+        if isinstance(item, bytes):
+            return item.decode("latin-1")
+        return str(item)
+
+    return f"{text(key)}\t{text(value)}"
+
+
+def write_text_output(output: JobOutput, out_dir: str,
+                      formatter: Callable[[Any, Any], str] = default_formatter,
+                      overwrite: bool = False) -> list[str]:
+    """Commit ``output`` under ``out_dir``; returns the part-file paths.
+
+    Raises ``FileExistsError`` when the directory already holds a committed
+    result (Hadoop refuses to clobber job output unless told to).
+    """
+    if os.path.exists(os.path.join(out_dir, SUCCESS_MARKER)):
+        if not overwrite:
+            raise FileExistsError(f"output directory {out_dir!r} already committed")
+        shutil.rmtree(out_dir)
+    staging = os.path.join(out_dir, TEMP_DIR)
+    os.makedirs(staging, exist_ok=True)
+
+    part_paths: list[str] = []
+    try:
+        for index, partition in enumerate(output.partitions):
+            name = f"part-r-{index:05d}"
+            staged = os.path.join(staging, name)
+            with open(staged, "w") as f:
+                for key, value in partition:
+                    f.write(formatter(key, value))
+                    f.write("\n")
+            final = os.path.join(out_dir, name)
+            os.replace(staged, final)  # atomic commit per part
+            part_paths.append(final)
+        with open(os.path.join(out_dir, SUCCESS_MARKER), "w") as f:
+            f.write("")
+    finally:
+        shutil.rmtree(staging, ignore_errors=True)
+    return part_paths
+
+
+def read_text_output(out_dir: str) -> list[tuple[str, str]]:
+    """Read a committed output directory back as (key, value) strings."""
+    if not os.path.exists(os.path.join(out_dir, SUCCESS_MARKER)):
+        raise FileNotFoundError(f"{out_dir!r} holds no committed job output")
+    pairs: list[tuple[str, str]] = []
+    for name in sorted(os.listdir(out_dir)):
+        if not name.startswith("part-r-"):
+            continue
+        with open(os.path.join(out_dir, name)) as f:
+            for line in f:
+                line = line.rstrip("\n")
+                if not line:
+                    continue
+                key, _tab, value = line.partition("\t")
+                pairs.append((key, value))
+    return pairs
+
+
+def is_committed(out_dir: str) -> bool:
+    return os.path.exists(os.path.join(out_dir, SUCCESS_MARKER))

@@ -1,0 +1,70 @@
+"""Partitioners: hash (default) and total-order (TeraSort's sampler)."""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Any, Callable, Iterable, Sequence
+
+
+def stable_hash(key: Any) -> int:
+    """Deterministic across runs/processes (unlike builtin ``hash`` for str)."""
+    if isinstance(key, bytes):
+        data = key
+    elif isinstance(key, str):
+        data = key.encode()
+    else:
+        data = repr(key).encode()
+    return int.from_bytes(hashlib.md5(data).digest()[:8], "big")
+
+
+def hash_partitioner(key: Any, num_partitions: int) -> int:
+    """Hadoop's HashPartitioner: hash(key) mod partitions."""
+    return stable_hash(key) % num_partitions
+
+
+class TotalOrderPartitioner:
+    """Range partitioner over sampled split points (TeraSort's).
+
+    Partition *i* receives keys in ``(cut[i-1], cut[i]]``-style ranges so a
+    global sort falls out of per-partition sorts plus partition order.
+    """
+
+    def __init__(self, split_points: Sequence[Any],
+                 sort_key: Callable[[Any], Any] = lambda k: k) -> None:
+        self.sort_key = sort_key
+        self.split_points = sorted((sort_key(p) for p in split_points))
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.split_points) + 1
+
+    def __call__(self, key: Any, num_partitions: int) -> int:
+        if num_partitions != self.num_partitions:
+            raise ValueError(
+                f"partitioner built for {self.num_partitions} partitions, "
+                f"job has {num_partitions}")
+        return bisect.bisect_right(self.split_points, self.sort_key(key))
+
+    @classmethod
+    def from_sample(cls, sample_keys: Iterable[Any], num_partitions: int,
+                    sort_key: Callable[[Any], Any] = lambda k: k) -> "TotalOrderPartitioner":
+        """Pick ``num_partitions - 1`` evenly spaced cut points from a sample
+        (what TeraSort's input sampler does)."""
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        ordered = sorted(sample_keys, key=sort_key)
+        if num_partitions == 1 or not ordered:
+            return cls([], sort_key=sort_key)
+        cuts = []
+        for i in range(1, num_partitions):
+            index = min(len(ordered) - 1, (i * len(ordered)) // num_partitions)
+            cuts.append(ordered[index])
+        # De-duplicate cut points (skewed samples) while preserving order.
+        unique = []
+        for cut in cuts:
+            if not unique or sort_key(cut) != sort_key(unique[-1]):
+                unique.append(cut)
+        while len(unique) < num_partitions - 1:
+            unique.append(unique[-1] if unique else ordered[-1])
+        return cls(unique, sort_key=sort_key)

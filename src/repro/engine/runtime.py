@@ -1,0 +1,121 @@
+"""The local job runner: serial or thread-parallel map execution.
+
+``LocalJobRunner(parallel_maps=1)`` behaves like Hadoop's Uber mode (strict
+serial); ``parallel_maps=n`` is the U+ execution model — n concurrent map
+workers in one process. Thread-parallel runs are used for I/O-overlap and
+correctness-under-concurrency testing; the performance story lives in the
+simulator (see DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Optional, Sequence
+
+from .io import RecordSplit
+from .partition import hash_partitioner
+from .sortspill import SpillBuffer, merge_grouped_streams, merge_sorted_streams
+from .types import (
+    MAP_INPUT_RECORDS,
+    REDUCE_INPUT_GROUPS,
+    REDUCE_INPUT_RECORDS,
+    Counters,
+    EngineJob,
+    JobOutput,
+    MapContext,
+    ReduceContext,
+)
+
+
+class LocalJobRunner:
+    """Runs :class:`EngineJob` s over record splits, in-process."""
+
+    def __init__(self, parallel_maps: int = 1, sort_buffer_bytes: int = 4 * 1024 * 1024,
+                 spill_dir: Optional[str] = None) -> None:
+        if parallel_maps < 1:
+            raise ValueError("parallel_maps must be >= 1")
+        self.parallel_maps = parallel_maps
+        self.sort_buffer_bytes = sort_buffer_bytes
+        self.spill_dir = spill_dir
+
+    # -- public ------------------------------------------------------------
+    def run(self, job: EngineJob, splits: Sequence[RecordSplit]) -> JobOutput:
+        start = time.perf_counter()
+        partitioner = job.partitioner if job.partitioner is not None else hash_partitioner
+
+        map_outputs: list[list[list[tuple[Any, Any, Any]]]] = [None] * len(splits)
+        map_counters: list[Counters] = [Counters() for _ in splits]
+        map_times: list[float] = [0.0] * len(splits)
+        spill_total = [0]  # list cell: written from worker threads
+
+        def run_map(index: int) -> None:
+            t0 = time.perf_counter()
+            split = splits[index]
+            counters = map_counters[index]
+            buffers = [
+                SpillBuffer(self.sort_buffer_bytes, job.combiner, job.sort_key,
+                            counters, spill_dir=self.spill_dir)
+                for _ in range(job.num_reduces)
+            ]
+            ctx = MapContext(counters)
+            ctx.bind(lambda k, v: buffers[partitioner(k, job.num_reduces)].add(k, v))
+            try:
+                for key, value in split:
+                    counters.incr(MAP_INPUT_RECORDS)
+                    job.mapper(key, value, ctx)
+                spill_total[0] += sum(b.spill_count for b in buffers)
+                map_outputs[index] = [b.finish() for b in buffers]
+            except BaseException:
+                for b in buffers:
+                    b.abort()
+                raise
+            map_times[index] = time.perf_counter() - t0
+
+        if self.parallel_maps == 1 or len(splits) <= 1:
+            for index in range(len(splits)):
+                run_map(index)
+        else:
+            with ThreadPoolExecutor(max_workers=self.parallel_maps) as pool:
+                futures = [pool.submit(run_map, i) for i in range(len(splits))]
+                for future in futures:
+                    future.result()  # propagate task failures
+
+        counters = Counters()
+        for task_counters in map_counters:
+            counters.merge(task_counters)
+
+        # -- reduce phase ----------------------------------------------------
+        partitions: list[list[tuple[Any, Any]]] = []
+        reduce_times: list[float] = []
+        for partition_index in range(job.num_reduces):
+            t0 = time.perf_counter()
+            streams = [
+                out[partition_index] for out in map_outputs if out is not None
+            ]
+            rctx = ReduceContext(counters)
+            if job.grouping_key is not None:
+                # Secondary sort: grouped by grouping_key, values are the
+                # full (key, value) pairs in sort order.
+                for _group, first_key, pairs in merge_grouped_streams(
+                        streams, job.grouping_key):
+                    counters.incr(REDUCE_INPUT_GROUPS)
+                    counters.incr(REDUCE_INPUT_RECORDS, len(pairs))
+                    job.reducer(first_key, iter(pairs), rctx)
+            else:
+                for _sk, key, values in merge_sorted_streams(streams):
+                    counters.incr(REDUCE_INPUT_GROUPS)
+                    counters.incr(REDUCE_INPUT_RECORDS, len(values))
+                    job.reducer(key, iter(values), rctx)
+            partitions.append(rctx.output)
+            reduce_times.append(time.perf_counter() - t0)
+
+        return JobOutput(
+            name=job.name,
+            partitions=partitions,
+            counters=counters,
+            elapsed_s=time.perf_counter() - start,
+            map_elapsed_s=map_times,
+            reduce_elapsed_s=reduce_times,
+            spill_files=spill_total[0],
+        )

@@ -1,0 +1,133 @@
+"""Core types of the functional MapReduce engine: jobs, contexts, counters.
+
+This engine actually executes user map/combine/reduce functions over real
+data — it is the correctness substrate for the paper's three benchmarks
+(WordCount, TeraSort, PI) and the source of the calibration constants used
+by the performance simulator.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+# Standard counter names (subset of Hadoop's TaskCounter).
+MAP_INPUT_RECORDS = "MAP_INPUT_RECORDS"
+MAP_OUTPUT_RECORDS = "MAP_OUTPUT_RECORDS"
+MAP_OUTPUT_BYTES = "MAP_OUTPUT_BYTES"
+COMBINE_INPUT_RECORDS = "COMBINE_INPUT_RECORDS"
+COMBINE_OUTPUT_RECORDS = "COMBINE_OUTPUT_RECORDS"
+REDUCE_INPUT_RECORDS = "REDUCE_INPUT_RECORDS"
+REDUCE_INPUT_GROUPS = "REDUCE_INPUT_GROUPS"
+REDUCE_OUTPUT_RECORDS = "REDUCE_OUTPUT_RECORDS"
+SPILLED_RECORDS = "SPILLED_RECORDS"
+
+
+class Counters:
+    """Thread-safe-enough counter map (increments are GIL-atomic enough for
+    our int += usage under CPython; each task also gets private counters
+    that are merged at the end, like real Hadoop)."""
+
+    def __init__(self) -> None:
+        self._values: dict[str, int] = defaultdict(int)
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self._values[name] += amount
+
+    def get(self, name: str) -> int:
+        return self._values.get(name, 0)
+
+    def merge(self, other: "Counters") -> None:
+        for name, value in other._values.items():
+            self._values[name] += value
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._values)
+
+    def __repr__(self) -> str:
+        return f"Counters({dict(sorted(self._values.items()))})"
+
+
+class MapContext:
+    """Passed to the mapper; collects (key, value) pairs."""
+
+    def __init__(self, counters: Counters) -> None:
+        self.counters = counters
+        self._sink: Optional[Callable[[Any, Any], None]] = None
+
+    def bind(self, sink: Callable[[Any, Any], None]) -> None:
+        self._sink = sink
+
+    def emit(self, key: Any, value: Any) -> None:
+        self.counters.incr(MAP_OUTPUT_RECORDS)
+        self._sink(key, value)
+
+
+class ReduceContext:
+    """Passed to the reducer; collects final (key, value) pairs."""
+
+    def __init__(self, counters: Counters) -> None:
+        self.counters = counters
+        self.output: list[tuple[Any, Any]] = []
+
+    def emit(self, key: Any, value: Any) -> None:
+        self.counters.incr(REDUCE_OUTPUT_RECORDS)
+        self.output.append((key, value))
+
+
+#: A mapper is ``fn(key, value, ctx)``; a reducer/combiner is
+#: ``fn(key, values, ctx)`` where ``values`` is an iterator.
+Mapper = Callable[[Any, Any, MapContext], None]
+Reducer = Callable[[Any, Iterator[Any], ReduceContext], None]
+
+
+@dataclass
+class EngineJob:
+    """A runnable MapReduce job for the functional engine."""
+
+    name: str
+    mapper: Mapper
+    reducer: Reducer
+    combiner: Optional[Reducer] = None
+    num_reduces: int = 1
+    #: Keys must be orderable for the sort phase; provide a sort key
+    #: extractor when raw keys are not directly comparable.
+    sort_key: Callable[[Any], Any] = lambda k: k
+    #: None = HashPartitioner (assigned by the runner).
+    partitioner: Optional[Callable[[Any, int], int]] = None
+    #: Secondary sort: when set, the reduce phase groups *consecutive sorted*
+    #: keys by this function instead of exact key equality — the Hadoop
+    #: "grouping comparator" pattern. Keys sort by ``sort_key`` (e.g.
+    #: (user, timestamp)) but group by ``grouping_key`` (user), so each
+    #: reducer call sees one user's values in timestamp order. Partition by
+    #: the same grouping or records scatter across reducers.
+    grouping_key: Optional[Callable[[Any], Any]] = None
+
+    def __post_init__(self) -> None:
+        if self.num_reduces < 1:
+            raise ValueError("num_reduces must be >= 1")
+
+
+@dataclass
+class JobOutput:
+    """Everything a finished engine job produced."""
+
+    name: str
+    #: Per-reduce-partition sorted (key, value) lists.
+    partitions: list[list[tuple[Any, Any]]]
+    counters: Counters
+    elapsed_s: float
+    map_elapsed_s: list[float] = field(default_factory=list)
+    reduce_elapsed_s: list[float] = field(default_factory=list)
+    spill_files: int = 0
+
+    def results(self) -> list[tuple[Any, Any]]:
+        """All output records in partition-then-key order."""
+        out: list[tuple[Any, Any]] = []
+        for partition in self.partitions:
+            out.extend(partition)
+        return out
+
+    def as_dict(self) -> dict[Any, Any]:
+        return dict(self.results())

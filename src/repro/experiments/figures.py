@@ -1,0 +1,411 @@
+"""Reproductions of every table/figure in the paper's evaluation (§IV).
+
+Each ``figureN()`` returns a :class:`FigureResult` holding the measured
+series plus the paper's quantitative claims evaluated against our numbers.
+Figures 1-6 are architecture diagrams with no data; the evaluation consists
+of Table II and Figures 7-15.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from ..config import (
+    INSTANCE_TYPES,
+    ClusterSpec,
+    HadoopConfig,
+    MRapidConfig,
+    a2_cluster,
+    a3_cluster,
+)
+from ..mapreduce.spec import SimJobSpec
+from ..simcluster import SimCluster
+from ..workloads.base import TERASORT_PROFILE, WORDCOUNT_PROFILE, pi_profile
+from ..workloads.terasort import rows_to_mb
+from .harness import (
+    ALL_MODES,
+    HADOOP_DIST,
+    HADOOP_UBER,
+    MRAPID_DPLUS,
+    MRAPID_UPLUS,
+    FigureResult,
+    PaperClaim,
+    Series,
+    SpecBuilder,
+    improvement_pct,
+    run_mode,
+    sweep,
+)
+
+# -- input builders ------------------------------------------------------------
+
+def wordcount_input(num_files: int, file_mb: float) -> SpecBuilder:
+    def build(cluster: SimCluster) -> SimJobSpec:
+        paths = cluster.load_input_files("/wc", num_files, file_mb)
+        return SimJobSpec("wordcount", tuple(paths), WORDCOUNT_PROFILE,
+                          signature=f"wc-{num_files}x{file_mb}")
+    return build
+
+
+def terasort_input(num_rows: int, num_files: int = 4) -> SpecBuilder:
+    total_mb = rows_to_mb(num_rows)
+    def build(cluster: SimCluster) -> SimJobSpec:
+        paths = cluster.load_input_files("/ts", num_files, total_mb / num_files)
+        return SimJobSpec("terasort", tuple(paths), TERASORT_PROFILE,
+                          signature=f"ts-{num_rows}")
+    return build
+
+
+def pi_input(total_samples: float, num_maps: int = 4) -> SpecBuilder:
+    profile = pi_profile(total_samples, num_maps)
+    def build(cluster: SimCluster) -> SimJobSpec:
+        paths = cluster.load_input_files("/pi", num_maps, 0.01)
+        return SimJobSpec("pi", tuple(paths), profile,
+                          signature=f"pi-{total_samples:g}")
+    return build
+
+
+# -- Table II --------------------------------------------------------------------
+
+def table2() -> FigureResult:
+    """The Azure instance catalog the experiments are parameterized by."""
+    series = {}
+    for name, inst in INSTANCE_TYPES.items():
+        s = Series(name)
+        s.add("cores", inst.cores)
+        s.add("memory_gb", inst.memory_gb)
+        s.add("disk_gb", inst.disk_gb)
+        s.add("price_per_hr", inst.price_per_hour)
+        series[name] = s
+    return FigureResult(
+        "Table II", "Microsoft Azure instance types", "attribute", series,
+        claims=[
+            PaperClaim("A3/A1 price ratio", 4.0,
+                       INSTANCE_TYPES["A3"].price_per_hour / INSTANCE_TYPES["A1"].price_per_hour,
+                       unit="x", tolerance=0.01),
+            PaperClaim("A3 cores", 4, INSTANCE_TYPES["A3"].cores, unit="", tolerance=0),
+        ],
+        notes="static catalog; used by every figure below",
+    )
+
+
+# -- Figure 7: WordCount, #files sweep at 10 MB each -----------------------------------
+
+def figure7(xs: Sequence[int] = (1, 2, 4, 8, 16)) -> FigureResult:
+    cluster_spec = a3_cluster(4)
+
+    def point(mode: str, n_files: int) -> float:
+        return run_mode(mode, cluster_spec, wordcount_input(n_files, 10.0)).elapsed
+
+    fig = sweep("Figure 7", "WordCount, file size fixed at 10 MB", "#files",
+                xs, ALL_MODES, point)
+    fig.claims = [
+        PaperClaim("D+ vs Hadoop-Distributed @8 files",
+                   36.36, fig.improvement(HADOOP_DIST, MRAPID_DPLUS, 8)),
+        PaperClaim("U+ vs Hadoop-Uber @4 files",
+                   59.26, fig.improvement(HADOOP_UBER, MRAPID_UPLUS, 4)),
+        PaperClaim("U+ vs Hadoop-Uber @16 files (160 MB, spills like Uber)",
+                   11.43, fig.improvement(HADOOP_UBER, MRAPID_UPLUS, 16)),
+        PaperClaim("D+ vs U+ @8 files (similar performance)",
+                   0.0, fig.improvement(MRAPID_UPLUS, MRAPID_DPLUS, 8),
+                   tolerance=25.0),
+        PaperClaim("U+ still beats Uber @16 files (sign)",
+                   1.0, 1.0 if fig.series[MRAPID_UPLUS].at(16)
+                   < fig.series[HADOOP_UBER].at(16) else 0.0,
+                   unit="bool", tolerance=0.0),
+        PaperClaim("D+ beats U+ past 8 files (sign @16)",
+                   1.0, 1.0 if fig.series[MRAPID_DPLUS].at(16)
+                   < fig.series[MRAPID_UPLUS].at(16) else 0.0,
+                   unit="bool", tolerance=0.0),
+    ]
+    fig.notes = (
+        "the paper's 11.43% U+ @16-files claim has no reproducible baseline: "
+        "real Hadoop caps Uber mode at 9 maps, and with 4-way parallelism a "
+        "larger-than-11% gap over a strictly serial Uber is arithmetic; we "
+        "report the honest measured value"
+    )
+    return fig
+
+
+# -- Figure 8: WordCount, file-size sweep at 4 files ----------------------------------------
+
+def figure8(xs: Sequence[float] = (5.0, 10.0, 20.0, 40.0)) -> FigureResult:
+    cluster_spec = a3_cluster(4)
+
+    def point(mode: str, file_mb: float) -> float:
+        return run_mode(mode, cluster_spec, wordcount_input(4, file_mb)).elapsed
+
+    fig = sweep("Figure 8", "WordCount, number of files fixed at 4", "file MB",
+                xs, ALL_MODES, point)
+    fig.claims = [
+        PaperClaim("D+ vs Hadoop-Distributed @40 MB files",
+                   43.40, fig.improvement(HADOOP_DIST, MRAPID_DPLUS, 40.0)),
+        PaperClaim("D+ vs U+ @40 MB files",
+                   11.32, fig.improvement(MRAPID_UPLUS, MRAPID_DPLUS, 40.0),
+                   tolerance=15.0),
+        PaperClaim("D+ gains grow with file size (sign: 40MB gain > 5MB gain)",
+                   1.0, 1.0 if fig.improvement(HADOOP_DIST, MRAPID_DPLUS, 40.0)
+                   > fig.improvement(HADOOP_DIST, MRAPID_DPLUS, 5.0) else 0.0,
+                   unit="bool", tolerance=0.0),
+    ]
+    return fig
+
+
+# -- Figure 9: WordCount, fixed 60 MB total ---------------------------------------------------
+
+def figure9(xs: Sequence[int] = (2, 3, 4)) -> FigureResult:
+    cluster_spec = a3_cluster(4)
+
+    def point(mode: str, n_files: int) -> float:
+        return run_mode(mode, cluster_spec,
+                        wordcount_input(n_files, 60.0 / n_files)).elapsed
+
+    fig = sweep("Figure 9", "WordCount, total input fixed at 60 MB", "#files",
+                xs, ALL_MODES, point)
+    fig.claims = [
+        PaperClaim("D+ vs Hadoop-Distributed @4x15 MB",
+                   79.41, fig.improvement(HADOOP_DIST, MRAPID_DPLUS, 4),
+                   tolerance=35.0),
+        PaperClaim("U+ vs Hadoop-Uber @4 files",
+                   88.89, fig.improvement(HADOOP_UBER, MRAPID_UPLUS, 4),
+                   tolerance=35.0),
+        PaperClaim("D+ best at 4 files (sign: 4-file D+ <= 2-file D+)",
+                   1.0, 1.0 if fig.series[MRAPID_DPLUS].at(4)
+                   <= fig.series[MRAPID_DPLUS].at(2) else 0.0,
+                   unit="bool", tolerance=0.0),
+    ]
+    return fig
+
+
+# -- Figure 10: TeraSort row sweep --------------------------------------------------------------
+
+def figure10(xs: Sequence[int] = (100_000, 200_000, 400_000, 800_000, 1_600_000)
+             ) -> FigureResult:
+    cluster_spec = a3_cluster(4)
+
+    def point(mode: str, rows: int) -> float:
+        return run_mode(mode, cluster_spec, terasort_input(rows, num_files=4)).elapsed
+
+    fig = sweep("Figure 10", "TeraSort, 4 map tasks", "rows", xs, ALL_MODES, point)
+    fig.claims = [
+        PaperClaim("D+ vs Hadoop-Distributed @100k rows",
+                   59.42, fig.improvement(HADOOP_DIST, MRAPID_DPLUS, 100_000),
+                   tolerance=30.0),
+        PaperClaim("U+ vs D+ @800k rows",
+                   67.0, fig.improvement(MRAPID_DPLUS, MRAPID_UPLUS, 800_000),
+                   tolerance=30.0),
+        PaperClaim("U+ always beats D+ (sign across sweep)",
+                   1.0, 1.0 if all(fig.series[MRAPID_UPLUS].at(x)
+                                   < fig.series[MRAPID_DPLUS].at(x) for x in xs) else 0.0,
+                   unit="bool", tolerance=0.0),
+    ]
+    return fig
+
+
+# -- Figure 11: PI sample sweep --------------------------------------------------------------------
+
+def figure11(xs: Sequence[float] = (100e6, 200e6, 400e6, 800e6, 1600e6)
+             ) -> FigureResult:
+    cluster_spec = a3_cluster(4)
+
+    def point(mode: str, samples: float) -> float:
+        return run_mode(mode, cluster_spec, pi_input(samples, num_maps=4)).elapsed
+
+    fig = sweep("Figure 11", "PI, 4 map tasks", "samples", xs, ALL_MODES, point)
+    dist_beats_uber_past_200m = all(
+        fig.series[HADOOP_DIST].at(x) < fig.series[HADOOP_UBER].at(x)
+        for x in xs if x > 200e6
+    )
+    fig.claims = [
+        PaperClaim("stock: Distributed beats Uber past 200m samples (sign)",
+                   1.0, 1.0 if dist_beats_uber_past_200m else 0.0,
+                   unit="bool", tolerance=0.0),
+        PaperClaim("MRapid: U+ still best at 1600m samples (sign)",
+                   1.0, 1.0 if fig.series[MRAPID_UPLUS].at(1600e6)
+                   < fig.series[MRAPID_DPLUS].at(1600e6) else 0.0,
+                   unit="bool", tolerance=0.0),
+    ]
+    fig.notes = ("U+ runs 4 maps on the AM's 4 cores, so compute-bound PI "
+                 "parallelizes as well in one container as across the cluster")
+    return fig
+
+
+# -- Figure 12: containers per core ---------------------------------------------------------------------
+
+def figure12(xs: Sequence[int] = (1, 2)) -> FigureResult:
+    cluster_spec = a2_cluster(9)
+
+    def point(mode: str, containers_per_core: int) -> float:
+        conf = HadoopConfig(containers_per_core=containers_per_core)
+        return run_mode(mode, cluster_spec, wordcount_input(4, 10.0), conf=conf).elapsed
+
+    fig = sweep("Figure 12", "WordCount 4x10 MB, varying containers per core",
+                "containers/core", xs, ALL_MODES, point)
+    dist_degradation = improvement_pct(fig.series[HADOOP_DIST].at(2),
+                                       fig.series[HADOOP_DIST].at(1))
+    dplus_change = abs(improvement_pct(fig.series[MRAPID_DPLUS].at(2),
+                                       fig.series[MRAPID_DPLUS].at(1)))
+    uplus_change = abs(improvement_pct(fig.series[MRAPID_UPLUS].at(2),
+                                       fig.series[MRAPID_UPLUS].at(1)))
+    fig.claims = [
+        PaperClaim("stock Distributed much worse at 2 containers/core (sign)",
+                   1.0, 1.0 if fig.series[HADOOP_DIST].at(2)
+                   > 1.05 * fig.series[HADOOP_DIST].at(1) else 0.0,
+                   unit="bool", tolerance=0.0),
+        PaperClaim("D+ stable across containers/core (|change|)",
+                   0.0, dplus_change, tolerance=10.0),
+        PaperClaim("U+ stable across containers/core (|change|)",
+                   0.0, uplus_change, tolerance=5.0),
+    ]
+    fig.notes = f"stock distributed run is {dist_degradation:.1f}% faster at 1 than at 2"
+    return fig
+
+
+# -- Figure 13: equal-cost cluster shapes ----------------------------------------------------------------------
+
+def figure13(xs: Sequence[int] = (4, 8, 16)) -> FigureResult:
+    """10-node A2 vs 5-node A3 (same hourly cost), WordCount 10 MB files."""
+    a2 = a2_cluster(9)   # 1 NN + 9 DN
+    a3 = a3_cluster(4)   # 1 NN + 4 DN
+    assert abs(a2.hourly_cost - a3.hourly_cost) < 1e-9
+
+    series: dict[str, Series] = {}
+    for mode, label in ((MRAPID_DPLUS, "D+"), (MRAPID_UPLUS, "U+")):
+        for cluster_spec, cname in ((a2, "A2x10"), (a3, "A3x5")):
+            s = Series(f"{label} {cname}")
+            for n_files in xs:
+                result = run_mode(mode, cluster_spec, wordcount_input(n_files, 10.0))
+                s.add(n_files, result.elapsed)
+            series[s.name] = s
+
+    fig = FigureResult("Figure 13", "WordCount on equal-cost clusters", "#files",
+                       series)
+    fig.claims = [
+        PaperClaim("U+ always prefers the A3 cluster (sign)",
+                   1.0, 1.0 if all(series["U+ A3x5"].at(x) < series["U+ A2x10"].at(x)
+                                   for x in xs) else 0.0,
+                   unit="bool", tolerance=0.0),
+        PaperClaim("D+ on A3 no worse for few files (sign @4)",
+                   1.0, 1.0 if series["D+ A3x5"].at(4) <= series["D+ A2x10"].at(4) + 1e-9
+                   else 0.0,
+                   unit="bool", tolerance=0.0),
+        PaperClaim("D+ prefers A2 for many files (sign @16)",
+                   1.0, 1.0 if series["D+ A2x10"].at(16) < series["D+ A3x5"].at(16) else 0.0,
+                   unit="bool", tolerance=0.0),
+    ]
+    fig.notes = "fatter nodes win one-wave jobs; more spindles/NICs win wide jobs"
+    return fig
+
+
+# -- Figures 14/15: per-optimization contribution (ablations) -----------------------------------------------------
+
+#: D+ ablation: feature label -> MRapidConfig overrides that DISABLE it.
+DPLUS_FEATURES: dict[str, dict] = {
+    "scheduler (round-robin)": {"balanced_spread": False},
+    "submission framework": {"use_am_pool": False},
+    "locality awareness": {"locality_aware": False},
+    "reducing communication": {"respond_same_heartbeat": False,
+                               "reduce_communication": False},
+}
+
+#: U+ ablation: feature label -> overrides that disable it.
+UPLUS_FEATURES: dict[str, dict] = {
+    "parallel execution": {"parallel_maps": False},
+    "submission framework": {"use_am_pool": False},
+    "memory cache": {"memory_cache": False},
+    "reducing communication": {"reduce_communication": False},
+}
+
+
+def ablation_contributions(mode: str, cluster_spec: ClusterSpec,
+                           spec_builder: SpecBuilder,
+                           features: dict[str, dict]) -> dict[str, float]:
+    """Leave-one-out contribution shares (sum to 100%).
+
+    contribution(f) = elapsed(all-on except f) - elapsed(all-on), normalized.
+    """
+    full = run_mode(mode, cluster_spec, spec_builder, mrapid=MRapidConfig()).elapsed
+    deltas: dict[str, float] = {}
+    for label, overrides in features.items():
+        without = run_mode(mode, cluster_spec, spec_builder,
+                           mrapid=MRapidConfig(**overrides)).elapsed
+        deltas[label] = max(0.0, without - full)
+    total = sum(deltas.values())
+    if total <= 0:
+        return {label: 0.0 for label in features}
+    return {label: 100.0 * delta / total for label, delta in deltas.items()}
+
+
+def figure14() -> FigureResult:
+    """D+ optimization contributions (WordCount 8x10 MB, 5-node cluster)."""
+    shares = ablation_contributions(MRAPID_DPLUS, a3_cluster(4),
+                                    wordcount_input(8, 10.0), DPLUS_FEATURES)
+    series = {}
+    for label, pct in shares.items():
+        s = Series(label)
+        s.add("share", pct)
+        series[label] = s
+    paper = {"scheduler (round-robin)": 50.0, "submission framework": 31.0,
+             "locality awareness": 13.0, "reducing communication": 6.0}
+    claims = [
+        PaperClaim(f"D+ contribution: {label}", paper[label], shares[label],
+                   tolerance=20.0)
+        for label in DPLUS_FEATURES
+    ]
+    order_holds = (shares["scheduler (round-robin)"] >= shares["submission framework"]
+                   >= shares["locality awareness"] >= shares["reducing communication"])
+    claims.append(PaperClaim("D+ contribution ordering preserved (sign)",
+                             1.0, 1.0 if order_holds else 0.0, unit="bool",
+                             tolerance=0.0))
+    return FigureResult(
+        "Figure 14", "D+ optimization contribution shares", "technique",
+        series, claims=claims,
+        notes=(
+            "leave-one-out attribution on the paper's 5-node topology; "
+            "locality is structurally ~0 there (3-way replication over 4 "
+            "DataNodes makes every node hold 75% of blocks), and skipping "
+            "the two-heartbeat wait is worth a full second per allocation "
+            "round in our model, so 'communication' absorbs part of what "
+            "the paper credits to locality"
+        ),
+    )
+
+
+def figure15() -> FigureResult:
+    """U+ optimization contributions (WordCount 4x10 MB)."""
+    shares = ablation_contributions(MRAPID_UPLUS, a3_cluster(4),
+                                    wordcount_input(4, 10.0), UPLUS_FEATURES)
+    series = {}
+    for label, pct in shares.items():
+        s = Series(label)
+        s.add("share", pct)
+        series[label] = s
+    paper = {"parallel execution": 64.0, "submission framework": 23.0,
+             "memory cache": 9.0, "reducing communication": 4.0}
+    claims = [
+        PaperClaim(f"U+ contribution: {label}", paper[label], shares[label],
+                   tolerance=20.0)
+        for label in UPLUS_FEATURES
+    ]
+    order_holds = (shares["parallel execution"] >= shares["submission framework"]
+                   >= shares["memory cache"] >= shares["reducing communication"])
+    claims.append(PaperClaim("U+ contribution ordering preserved (sign)",
+                             1.0, 1.0 if order_holds else 0.0, unit="bool",
+                             tolerance=0.0))
+    return FigureResult("Figure 15", "U+ optimization contribution shares",
+                        "technique", series, claims=claims)
+
+
+#: Registry used by the report generator and the benchmark harness.
+ALL_FIGURES: dict[str, Callable[[], FigureResult]] = {
+    "table2": table2,
+    "figure7": figure7,
+    "figure8": figure8,
+    "figure9": figure9,
+    "figure10": figure10,
+    "figure11": figure11,
+    "figure12": figure12,
+    "figure13": figure13,
+    "figure14": figure14,
+    "figure15": figure15,
+}

@@ -1,0 +1,144 @@
+"""Experiment harness: sweeps, series, paper-claim bookkeeping, rendering.
+
+Every figure in the paper's evaluation is a :class:`FigureResult` produced
+by a function in :mod:`repro.experiments.figures`. Each data point runs on a
+*fresh* simulated cluster (as each of the paper's trials did), so points are
+fully independent and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..config import ClusterSpec, HadoopConfig, MRapidConfig
+from ..core.submit import (
+    build_mrapid_cluster,
+    build_stock_cluster,
+    run_short_job,
+    run_stock_job,
+)
+from ..mapreduce.spec import JobResult, SimJobSpec
+from ..simcluster import SimCluster
+
+# Canonical series names used across every figure.
+HADOOP_DIST = "Hadoop-Distributed"
+HADOOP_UBER = "Hadoop-Uber"
+MRAPID_DPLUS = "MRapid-D+"
+MRAPID_UPLUS = "MRapid-U+"
+ALL_MODES = (HADOOP_DIST, HADOOP_UBER, MRAPID_DPLUS, MRAPID_UPLUS)
+
+#: Builder that, given a freshly built cluster, loads input and returns a spec.
+SpecBuilder = Callable[[SimCluster], SimJobSpec]
+
+
+def run_mode(mode: str, cluster_spec: ClusterSpec, spec_builder: SpecBuilder,
+             conf: Optional[HadoopConfig] = None,
+             mrapid: Optional[MRapidConfig] = None, seed: int = 7) -> JobResult:
+    """One data point: fresh cluster, one job, one mode."""
+    if mode in (HADOOP_DIST, HADOOP_UBER):
+        cluster = build_stock_cluster(cluster_spec, conf=conf, seed=seed)
+        spec = spec_builder(cluster)
+        stock = "distributed" if mode == HADOOP_DIST else "uber"
+        return run_stock_job(cluster, spec, stock)
+    if mode in (MRAPID_DPLUS, MRAPID_UPLUS):
+        cluster = build_mrapid_cluster(cluster_spec, conf=conf, mrapid=mrapid, seed=seed)
+        spec = spec_builder(cluster)
+        short = "dplus" if mode == MRAPID_DPLUS else "uplus"
+        return run_short_job(cluster, spec, short)
+    raise ValueError(f"unknown mode {mode!r}")
+
+
+@dataclass
+class Series:
+    """One line of a figure: y seconds at each x."""
+
+    name: str
+    x: list = field(default_factory=list)
+    y: list = field(default_factory=list)
+
+    def add(self, x, y: float) -> None:
+        self.x.append(x)
+        self.y.append(y)
+
+    def at(self, x) -> float:
+        return self.y[self.x.index(x)]
+
+
+@dataclass
+class PaperClaim:
+    """A quantitative statement from the paper, checked against our run."""
+
+    description: str
+    paper_value: float          # percent improvement (or ratio) in the paper
+    measured_value: float
+    unit: str = "%"
+    #: |paper - measured| tolerance for the "holds" verdict. Shapes, not
+    #: absolute seconds, are what a simulator can promise (DESIGN.md §6).
+    tolerance: float = 20.0
+
+    @property
+    def holds(self) -> bool:
+        return abs(self.paper_value - self.measured_value) <= self.tolerance
+
+
+@dataclass
+class FigureResult:
+    """A reproduced table/figure plus its paper-vs-measured claims."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    series: dict[str, Series]
+    claims: list[PaperClaim] = field(default_factory=list)
+    notes: str = ""
+
+    def improvement(self, baseline: str, improved: str, x) -> float:
+        """Percent improvement of ``improved`` over ``baseline`` at ``x``."""
+        base = self.series[baseline].at(x)
+        new = self.series[improved].at(x)
+        return (base - new) / base * 100.0 if base else 0.0
+
+    # -- rendering ---------------------------------------------------------
+    def render_table(self) -> str:
+        xs = next(iter(self.series.values())).x
+        names = list(self.series)
+        widths = [max(len(self.x_label), 10)] + [max(len(n), 9) for n in names]
+        lines = [f"{self.figure_id}: {self.title}"]
+        header = "  ".join(
+            [self.x_label.ljust(widths[0])] + [n.rjust(w) for n, w in zip(names, widths[1:])]
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for i, x in enumerate(xs):
+            cells = [str(x).ljust(widths[0])]
+            for name, w in zip(names, widths[1:]):
+                cells.append(f"{self.series[name].y[i]:.1f}".rjust(w))
+            lines.append("  ".join(cells))
+        if self.claims:
+            lines.append("")
+            lines.append("paper-vs-measured:")
+            for claim in self.claims:
+                verdict = "HOLDS" if claim.holds else "DIVERGES"
+                lines.append(
+                    f"  [{verdict:8s}] {claim.description}: paper "
+                    f"{claim.paper_value:.1f}{claim.unit}, measured "
+                    f"{claim.measured_value:.1f}{claim.unit}"
+                )
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+
+def sweep(figure_id: str, title: str, x_label: str, xs: Sequence,
+          modes: Sequence[str], point: Callable[[str, object], float]) -> FigureResult:
+    """Generic sweep: ``point(mode, x)`` -> seconds."""
+    series = {mode: Series(mode) for mode in modes}
+    for x in xs:
+        for mode in modes:
+            series[mode].add(x, point(mode, x))
+    return FigureResult(figure_id, title, x_label, series)
+
+
+def improvement_pct(base: float, new: float) -> float:
+    return (base - new) / base * 100.0 if base else 0.0

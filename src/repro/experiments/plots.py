@@ -1,0 +1,86 @@
+"""Terminal charts for figure results: grouped bars and sparkline-ish lines.
+
+The paper's Figures 7-13 are grouped bar charts and 14-15 pie charts; these
+renderers reproduce the *visual* comparison in plain text so the benchmark
+harness output reads like the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .harness import FigureResult
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def _fmt_x(x) -> str:
+    if isinstance(x, float) and x >= 1e6:
+        return f"{x/1e6:g}m"
+    return str(x)
+
+
+def grouped_bars(fig: FigureResult, width: int = 48) -> str:
+    """One group of horizontal bars per x value, one bar per series."""
+    xs = next(iter(fig.series.values())).x
+    names = list(fig.series)
+    peak = max(max(s.y) for s in fig.series.values()) or 1.0
+    label_width = max(len(n) for n in names)
+    lines = [f"{fig.figure_id}: {fig.title}  (seconds)"]
+    for i, x in enumerate(xs):
+        lines.append(f"{fig.x_label} = {_fmt_x(x)}")
+        for name in names:
+            value = fig.series[name].y[i]
+            units = value / peak * width
+            whole = int(units)
+            bar = _BAR * whole + (_HALF if units - whole >= 0.5 else "")
+            lines.append(f"  {name.ljust(label_width)} |{bar} {value:.1f}")
+    return "\n".join(lines)
+
+
+def share_bars(fig: FigureResult, width: int = 40) -> str:
+    """Contribution-share rendering for the Figure 14/15 ablations."""
+    lines = [f"{fig.figure_id}: {fig.title}  (% of total improvement)"]
+    shares = {name: series.y[0] for name, series in fig.series.items()}
+    label_width = max(len(n) for n in shares)
+    for name, pct in sorted(shares.items(), key=lambda kv: -kv[1]):
+        units = pct / 100.0 * width
+        whole = int(units)
+        bar = _BAR * whole + (_HALF if units - whole >= 0.5 else "")
+        lines.append(f"  {name.ljust(label_width)} |{bar} {pct:.1f}%")
+    return "\n".join(lines)
+
+
+def render_figure(fig: FigureResult, width: int = 48) -> str:
+    """Pick the right renderer for this figure's shape."""
+    xs = next(iter(fig.series.values())).x
+    if xs == ["share"]:
+        return share_bars(fig, width=width)
+    if all(isinstance(x, str) for x in xs):
+        # Attribute tables (Table II): the tabular form is already right.
+        return fig.render_table()
+    return grouped_bars(fig, width=width)
+
+
+def line_chart(ys: list[float], height: int = 8, width: Optional[int] = None,
+               title: str = "") -> str:
+    """A tiny block-character line chart for a single numeric series."""
+    if not ys:
+        return "(empty series)"
+    width = width if width is not None else len(ys)
+    lo, hi = min(ys), max(ys)
+    span = hi - lo or 1.0
+    # Resample to the requested width.
+    sampled = [ys[min(len(ys) - 1, int(i * len(ys) / width))] for i in range(width)]
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = lo + span * (level - 0.5) / height
+        rows.append("".join(_BAR if value >= threshold else " " for value in sampled))
+    out = []
+    if title:
+        out.append(title)
+    out.append(f"{hi:.1f} ┐")
+    out.extend("      " + row for row in rows)
+    out.append(f"{lo:.1f} ┘")
+    return "\n".join(out)

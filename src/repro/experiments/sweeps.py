@@ -1,0 +1,116 @@
+"""Generic parameter sweeps: cartesian grids, tidy rows, CSV export.
+
+For exploration beyond the fixed paper figures: declare axes, give a
+``point`` function, get back tidy (long-format) rows ready for pandas or a
+spreadsheet. Used by the ad-hoc analyses in the examples and by downstream
+users who want their own what-if grids.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One sweep dimension."""
+
+    name: str
+    values: tuple
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError(f"axis {self.name!r} has no values")
+
+
+@dataclass
+class SweepResult:
+    """Long-format results: one row per grid point per metric."""
+
+    axes: list[str]
+    metrics: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # -- queries ------------------------------------------------------------
+    def column(self, name: str) -> list[Any]:
+        return [row[name] for row in self.rows]
+
+    def where(self, **conditions: Any) -> list[dict[str, Any]]:
+        return [row for row in self.rows
+                if all(row.get(k) == v for k, v in conditions.items())]
+
+    def best(self, metric: str, minimize: bool = True) -> dict[str, Any]:
+        if not self.rows:
+            raise ValueError("empty sweep")
+        key = lambda row: row[metric]
+        return min(self.rows, key=key) if minimize else max(self.rows, key=key)
+
+    # -- export ---------------------------------------------------------------
+    def to_csv(self, path: Optional[str] = None) -> str:
+        """Render as CSV; write to ``path`` when given, return the text."""
+        fieldnames = self.axes + self.metrics
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=fieldnames, lineterminator="\n")
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow({k: row[k] for k in fieldnames})
+        text = buffer.getvalue()
+        if path is not None:
+            with open(path, "w", newline="") as f:
+                f.write(text)
+        return text
+
+    def table(self, max_rows: int = 20) -> str:
+        fieldnames = self.axes + self.metrics
+        widths = {name: max(len(name), 8) for name in fieldnames}
+        lines = ["  ".join(name.ljust(widths[name]) for name in fieldnames)]
+        lines.append("-" * len(lines[0]))
+        for row in self.rows[:max_rows]:
+            cells = []
+            for name in fieldnames:
+                value = row[name]
+                text = f"{value:.2f}" if isinstance(value, float) else str(value)
+                cells.append(text.ljust(widths[name]))
+            lines.append("  ".join(cells))
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+
+def grid_sweep(axes: Sequence[Axis],
+               point: Callable[..., Mapping[str, Any]],
+               progress: Optional[Callable[[dict], None]] = None) -> SweepResult:
+    """Evaluate ``point(**coords)`` at every cartesian grid point.
+
+    ``point`` returns a mapping of metric name -> value; metric names must
+    be consistent across points (validated).
+    """
+    if not axes:
+        raise ValueError("need at least one axis")
+    names = [axis.name for axis in axes]
+    if len(set(names)) != len(names):
+        raise ValueError("duplicate axis names")
+
+    result: Optional[SweepResult] = None
+    for combo in itertools.product(*(axis.values for axis in axes)):
+        coords = dict(zip(names, combo))
+        metrics = dict(point(**coords))
+        if result is None:
+            result = SweepResult(axes=names, metrics=sorted(metrics))
+        elif sorted(metrics) != result.metrics:
+            raise ValueError(
+                f"inconsistent metrics at {coords}: {sorted(metrics)} "
+                f"!= {result.metrics}")
+        row = {**coords, **metrics}
+        result.rows.append(row)
+        if progress is not None:
+            progress(row)
+    assert result is not None
+    return result

@@ -1,0 +1,77 @@
+"""ASCII Gantt timelines of job executions.
+
+Renders a :class:`JobResult`'s per-task lifecycle (wait / launch / run) on a
+character grid — the fastest way to *see* why stock Hadoop is slow for short
+jobs: the staircase of heartbeat waits and container launches dwarfs the
+actual map work.
+"""
+
+from __future__ import annotations
+
+from ..mapreduce.spec import JobResult, TaskRecord
+
+WAIT_CH = "."
+LAUNCH_CH = ":"
+RUN_CH = "█"
+IDLE_CH = " "
+
+
+def _row(record: TaskRecord, t0: float, t1: float, width: int) -> str:
+    scale = width / max(1e-9, (t1 - t0))
+
+    def col(t: float) -> int:
+        return max(0, min(width, int(round((t - t0) * scale))))
+
+    start = record.start_time
+    launch_start = start - record.phases.launch
+    wait_start = launch_start - record.phases.wait
+    cells = [IDLE_CH] * width
+    for i in range(col(wait_start), col(launch_start)):
+        cells[i] = WAIT_CH
+    for i in range(col(launch_start), col(start)):
+        cells[i] = LAUNCH_CH
+    for i in range(col(start), col(record.finish_time)):
+        cells[i] = RUN_CH
+    return "".join(cells)
+
+
+def job_timeline(result: JobResult, width: int = 72) -> str:
+    """Gantt chart: one row per task, columns are simulated time."""
+    records = list(result.maps) + list(result.reduces)
+    if not records or all(r.finish_time <= 0 for r in records):
+        return "(no completed tasks)"
+    t0 = result.submit_time
+    t1 = result.finish_time if result.finish_time > 0 else max(
+        r.finish_time for r in records)
+    label_width = max(len(r.task_id) for r in records) + len(max(
+        (r.node_id for r in records), key=len, default="")) + 1
+
+    lines = [
+        f"{result.job_name} [{result.mode}] — {result.elapsed:.1f}s "
+        f"(t0={t0:.1f}s .. t1={t1:.1f}s)",
+        f"legend: '{WAIT_CH}' container wait   '{LAUNCH_CH}' JVM launch   "
+        f"'{RUN_CH}' task running",
+    ]
+    for record in records:
+        if record.finish_time <= 0:
+            continue
+        label = f"{record.task_id}@{record.node_id}".ljust(label_width + 1)
+        lines.append(f"{label}|{_row(record, t0, t1, width)}|")
+    axis = f"{'':{label_width + 1}} {t0:<8.1f}{'':{max(0, width - 16)}}{t1:>8.1f}"
+    lines.append(axis)
+    return "\n".join(lines)
+
+
+def compare_timelines(results: list[JobResult], width: int = 72) -> str:
+    """Stack several jobs' timelines on a shared horizontal scale."""
+    if not results:
+        return "(nothing to compare)"
+    t1 = max(r.finish_time for r in results)
+    blocks = []
+    for result in results:
+        # Re-render each against the global end so bars are comparable.
+        padded = job_timeline(result, width=max(
+            8, int(width * (result.finish_time - result.submit_time)
+                   / max(1e-9, t1 - min(x.submit_time for x in results)))))
+        blocks.append(padded)
+    return "\n\n".join(blocks)

@@ -1,0 +1,20 @@
+"""Simulated HDFS: namespace, rack-aware replica placement, timed data path."""
+
+from .block import Block, HdfsFile, InputSplit
+from .client import HdfsClient
+from .datanode import DataNodeDaemon, ReplicationManager
+from .namenode import HdfsError, NameNode
+from .splits import compute_splits, total_input_mb
+
+__all__ = [
+    "Block",
+    "DataNodeDaemon",
+    "HdfsClient",
+    "HdfsError",
+    "HdfsFile",
+    "InputSplit",
+    "NameNode",
+    "ReplicationManager",
+    "compute_splits",
+    "total_input_mb",
+]

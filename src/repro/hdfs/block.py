@@ -1,0 +1,53 @@
+"""HDFS data records: blocks, files, input splits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Block:
+    """One HDFS block and the DataNodes holding its replicas.
+
+    ``replicas[0]`` is the primary (first-written) copy; the order matters to
+    the placement tests but readers always pick the *closest* replica.
+    """
+
+    block_id: int
+    path: str
+    size_mb: float
+    replicas: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.size_mb < 0:
+            raise ValueError("block size cannot be negative")
+
+    def hosted_on(self, node_id: str) -> bool:
+        return node_id in self.replicas
+
+
+@dataclass
+class HdfsFile:
+    """A file in the simulated namespace: an ordered list of blocks."""
+
+    path: str
+    blocks: list[Block] = field(default_factory=list)
+
+    @property
+    def size_mb(self) -> float:
+        return sum(b.size_mb for b in self.blocks)
+
+
+@dataclass(frozen=True)
+class InputSplit:
+    """A contiguous chunk of one file processed by a single map task."""
+
+    path: str
+    split_index: int
+    offset_mb: float
+    length_mb: float
+    hosts: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.length_mb < 0 or self.offset_mb < 0:
+            raise ValueError("split geometry cannot be negative")

@@ -1,0 +1,238 @@
+"""Simulated task bodies: the timed sub-phases of map and reduce attempts.
+
+Phase structure follows the paper's Equation 1 decomposition:
+map = setup + read (s^i/d^o) + map (t^m) + spill (s^o/d^i) [+ merge
+(s^o/d^o + s^o/d^i)]; reduce = shuffle + [merge] + reduce + write. All I/O
+goes through the contended devices, so packing tasks on one node slows them
+down the way it does on real hardware.
+
+Every wait is interrupt-safe: killing a task (speculative execution
+terminating the slower mode) also kills its in-flight disk/network/CPU
+flows so no phantom load stays behind.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional, Protocol
+
+from ..cluster.fabric import Flow
+from ..hdfs.block import InputSplit
+from ..simulation.errors import Interrupt
+from ..simulation.resources import Store
+from ..workloads.base import WorkloadProfile, attempt_fails, task_skew_factor
+
+
+class TransientTaskError(Exception):
+    """Injected attempt failure (bad sector, OOM-killed JVM, ...)."""
+from .spec import MapOutput, TaskRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simcluster import SimCluster
+
+
+def wait_flow(flow: Flow) -> Generator:
+    """Yield until ``flow`` completes; kill it if we are interrupted."""
+    try:
+        value = yield flow.done
+        return value
+    except Interrupt:
+        flow.fabric.kill(flow)
+        raise
+
+
+def read_split_interruptible(cluster: "SimCluster", split: InputSplit,
+                             at_node: str) -> Generator:
+    """HDFS split read that cancels its disk/net flows on interruption.
+
+    Returns the replica node the bytes came from.
+    """
+    file = cluster.namenode.get_file(split.path)
+    block = file.blocks[split.split_index]
+    source = cluster.topology.closest_replica(at_node, block.replicas)
+    if source is None:
+        raise RuntimeError(f"no replicas for block {block.block_id}")
+    if split.length_mb <= 0:
+        return source
+    disk = cluster.topology.node(source).disk.read(split.length_mb, label="split")
+    flows = [disk]
+    wait = disk.done
+    if source != at_node:
+        net = cluster.network.transfer(source, at_node, split.length_mb, label="split")
+        flows.append(net)
+        wait = disk.done & net.done
+    try:
+        yield wait
+    except Interrupt:
+        for flow in flows:
+            flow.fabric.kill(flow)
+        raise
+    return source
+
+
+class MemoryCache(Protocol):
+    """Intermediate-data cache interface (U+ mode implements it)."""
+
+    def try_reserve(self, mb: float) -> bool: ...  # pragma: no cover
+
+
+def sim_map_task(cluster: "SimCluster", profile: WorkloadProfile, split: InputSplit,
+                 node_id: str, record: TaskRecord, outputs: Store,
+                 setup_s: float, memory_cache: Optional[MemoryCache] = None,
+                 commit_rpc_s: float = 0.0) -> Generator:
+    """One map attempt on ``node_id`` (container already launched)."""
+    env = cluster.env
+    conf = cluster.conf
+    node = cluster.topology.node(node_id)
+    record.node_id = node_id
+    record.start_time = env.now
+    record.input_mb = split.length_mb
+    record.locality = cluster.topology.locality(node_id, split.hosts)
+
+    # setup sub-phase
+    if setup_s > 0:
+        yield env.timeout(setup_s)
+    record.phases.setup = setup_s
+
+    # Injected transient failures surface here (deterministic per attempt).
+    # finish_time stays 0: an aborted attempt never advertises output.
+    if attempt_fails(profile, f"{split.path}#{split.split_index}#{record.task_id}"):
+        raise TransientTaskError(record.task_id)
+
+    # read sub-phase: s^i / d^o (possibly remote)
+    t = env.now
+    record.source_node = yield from read_split_interruptible(cluster, split, node_id)
+    record.phases.read = env.now - t
+
+    # map sub-phase: t^m on the contended CPU (with deterministic per-task
+    # data skew, as real record mixes are not uniform)
+    t = env.now
+    skew = task_skew_factor(profile, f"{split.path}#{split.split_index}")
+    cpu = node.cpu.compute(profile.map_cpu_s(split.length_mb) * skew,
+                           label=record.task_id)
+    yield from wait_flow(cpu)
+    record.phases.compute = env.now - t
+
+    # spill / merge sub-phases
+    out_mb = profile.map_output_mb(split.length_mb)
+    in_memory = False
+    if memory_cache is not None and out_mb > 0:
+        in_memory = memory_cache.try_reserve(out_mb)
+    if not in_memory and out_mb > 0:
+        t = env.now
+        yield from wait_flow(node.disk.write(out_mb, label="spill"))
+        record.phases.spill = env.now - t
+        if out_mb > conf.sort_buffer_mb:
+            # multiple spill files: one merge pass (read back + rewrite)
+            t = env.now
+            yield from wait_flow(node.disk.read(out_mb, label="merge-read"))
+            yield from wait_flow(node.disk.write(out_mb, label="merge-write"))
+            record.phases.merge = env.now - t
+
+    # Status/commit round-trips through the stock RM/umbilical path.
+    if commit_rpc_s > 0:
+        yield env.timeout(commit_rpc_s)
+
+    record.output_mb = out_mb
+    record.in_memory_output = in_memory
+    record.finish_time = env.now
+    outputs.put(MapOutput(record.task_id, node_id, out_mb, in_memory))
+    return record
+
+
+def _fetch_one(cluster: "SimCluster", out: MapOutput, reduce_node: str) -> Generator:
+    """Bring one map's output to the reducer (shuffle fetch)."""
+    if out.size_mb <= 0:
+        return
+    if out.node_id == reduce_node:
+        if out.in_memory:
+            return  # U+ fast path: already in RAM on this node
+        # Local fetch: the reducer reads the mapper's spill from local disk.
+        yield from wait_flow(
+            cluster.topology.node(out.node_id).disk.read(out.size_mb, label="shuffle-local")
+        )
+        return
+    flows = []
+    waits = []
+    if not out.in_memory:
+        disk = cluster.topology.node(out.node_id).disk.read(out.size_mb, label="shuffle-read")
+        flows.append(disk)
+        waits.append(disk.done)
+    net = cluster.network.transfer(out.node_id, reduce_node, out.size_mb, label="shuffle")
+    flows.append(net)
+    waits.append(net.done)
+    try:
+        yield cluster.env.all_of(waits)
+    except Interrupt:
+        for flow in flows:
+            flow.fabric.kill(flow)
+        raise
+
+
+def sim_reduce_task(cluster: "SimCluster", profile: WorkloadProfile, num_maps: int,
+                    node_id: str, record: TaskRecord, outputs: Store,
+                    setup_s: float, output_path: str,
+                    write_output: bool = True, commit_rpc_s: float = 0.0) -> Generator:
+    """The single reduce attempt: shuffle (overlapped fetches) -> merge ->
+    reduce -> HDFS write."""
+    env = cluster.env
+    conf = cluster.conf
+    node = cluster.topology.node(node_id)
+    record.node_id = node_id
+    record.start_time = env.now
+
+    if setup_s > 0:
+        yield env.timeout(setup_s)
+    record.phases.setup = setup_s
+
+    # Shuffle: fetch each map output as soon as it is advertised; fetches
+    # overlap with still-running maps and with each other (parallel fetchers).
+    t = env.now
+    fetchers = []
+    total_mb = 0.0
+    try:
+        for _ in range(num_maps):
+            out = yield outputs.get()
+            total_mb += out.size_mb
+            fetchers.append(env.process(_fetch_one(cluster, out, node_id),
+                                        name=f"fetch-{out.task_id}"))
+        if fetchers:
+            yield env.all_of(fetchers)
+    except Interrupt:
+        for fetcher in fetchers:
+            if fetcher.is_alive:
+                fetcher.defuse()
+                fetcher.interrupt("reduce killed")
+        raise
+    record.phases.shuffle = env.now - t
+    record.input_mb = total_mb
+
+    # Merge pass when the shuffled data exceed the in-memory sort buffer.
+    if total_mb > conf.sort_buffer_mb:
+        t = env.now
+        yield from wait_flow(node.disk.write(total_mb, label="reduce-merge-w"))
+        yield from wait_flow(node.disk.read(total_mb, label="reduce-merge-r"))
+        record.phases.merge = env.now - t
+
+    # Reduce compute.
+    t = env.now
+    cpu = node.cpu.compute(profile.reduce_cpu_s(total_mb), label=record.task_id)
+    yield from wait_flow(cpu)
+    record.phases.compute = env.now - t
+
+    # Output commit to HDFS. Written with replication 1 (common for job
+    # output of short ad-hoc queries; also keeps reduce time mode-independent
+    # exactly as the paper's estimator assumes).
+    out_mb = profile.reduce_output_mb(total_mb)
+    record.output_mb = out_mb
+    if write_output and out_mb > 0:
+        t = env.now
+        if not cluster.namenode.exists(output_path):
+            cluster.namenode.create_file(output_path, out_mb, writer_node=node_id)
+        yield from wait_flow(node.disk.write(out_mb, label="reduce-out"))
+        record.phases.write = env.now - t
+
+    if commit_rpc_s > 0:
+        yield env.timeout(commit_rpc_s)
+
+    record.finish_time = env.now
+    return record

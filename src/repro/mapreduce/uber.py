@@ -1,0 +1,81 @@
+"""Stock Uber mode: all tasks run *sequentially* inside the AM container.
+
+Paper Figure 4. The two inefficiencies MRapid's U+ mode removes are both
+here on purpose: strict serial execution of map tasks (one thread), and
+intermediate data always spilled to the AM node's local disk.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from ..hdfs.splits import compute_splits
+from ..simulation.errors import Interrupt
+from ..simulation.resources import Store
+from .spec import JobResult, SimJobSpec, TaskRecord
+from .tasks import sim_map_task, sim_reduce_task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simcluster import SimCluster
+    from ..yarn.resourcemanager import AMContext
+
+
+class UberAM:
+    """Sequential single-container executor (mapreduce.job.ubertask.enable)."""
+
+    def __init__(self, cluster: "SimCluster", spec: SimJobSpec, result: JobResult) -> None:
+        self.cluster = cluster
+        self.spec = spec
+        self.result = result
+
+    def run(self, ctx: "AMContext") -> Generator:
+        env = self.cluster.env
+        conf = self.cluster.conf
+        node_id = ctx.node_id
+        self.result.am_start_time = env.now
+
+        yield env.timeout(conf.am_init_s)
+
+        splits = compute_splits(self.cluster.namenode, self.spec.input_paths)
+        n_maps = len(splits)
+        outputs = Store(env)
+
+        map_records = [TaskRecord(f"m{idx:03d}", "map") for idx in range(n_maps)]
+        reduce_record = TaskRecord("r000", "reduce")
+        self.result.maps = map_records
+        self.result.reduces = [reduce_record]
+
+        # Maps one after another in the AM's own JVM: no container launch,
+        # cheap setup, but zero parallelism (Figure 4). Transient attempt
+        # failures retry in place, up to the usual attempt budget.
+        for idx, split in enumerate(splits):
+            attempt = 0
+            while True:
+                record = (map_records[idx] if attempt == 0
+                          else TaskRecord(f"m{idx:03d}.a{attempt}", "map"))
+                try:
+                    yield from sim_map_task(
+                        self.cluster, self.spec.profile, split, node_id,
+                        record, outputs, conf.uber_task_setup_s,
+                        commit_rpc_s=conf.task_commit_rpc_s,
+                    )
+                    map_records[idx] = record
+                    break
+                except Interrupt:
+                    raise
+                except Exception:
+                    attempt += 1
+                    if attempt >= conf.max_task_attempts:
+                        raise
+
+        # The reduce runs in the same JVM; all fetches are local disk reads.
+        yield from sim_reduce_task(
+            self.cluster, self.spec.profile, n_maps, node_id,
+            reduce_record, outputs, conf.uber_task_setup_s,
+            output_path=f"/out/{self.result.app_id}",
+            commit_rpc_s=conf.task_commit_rpc_s,
+        )
+
+        self.result.num_waves = n_maps  # strictly serial: one map per "wave"
+        self.result.finish_time = env.now
+        return self.result

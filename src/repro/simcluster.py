@@ -1,0 +1,129 @@
+"""SimCluster: one-stop construction of a fully wired simulated testbed.
+
+Builds the environment, physical nodes, topology, network, HDFS, RM and NMs
+from a :class:`~repro.config.ClusterSpec` + :class:`~repro.config.HadoopConfig`,
+with any scheduler. Everything downstream (MapReduce AMs, MRapid, the
+experiment harness) receives a ``SimCluster`` and never wires plumbing again.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .cluster.network import ClusterNetwork
+from .cluster.node import Node
+from .cluster.topology import Topology
+from .config import ClusterSpec, HadoopConfig
+from .hdfs.client import HdfsClient
+from .hdfs.datanode import DataNodeDaemon, ReplicationManager
+from .hdfs.namenode import NameNode
+from .simulation.core import Environment
+from .simulation.monitor import EventLog
+from .yarn.nodemanager import NodeManager
+from .yarn.resourcemanager import ResourceManager
+from .yarn.scheduler import CapacityScheduler, SchedulerBase
+
+
+class SimCluster:
+    """A running simulated Hadoop cluster (pre-job-submission state)."""
+
+    def __init__(self, spec: ClusterSpec, conf: Optional[HadoopConfig] = None,
+                 scheduler: Optional[SchedulerBase] = None, seed: int = 7) -> None:
+        self.spec = spec
+        self.conf = conf if conf is not None else HadoopConfig()
+        self.env = Environment()
+        self.log = EventLog()
+
+        inst = spec.instance
+        self.datanodes: list[Node] = [
+            Node(
+                self.env,
+                f"dn{i}",
+                rack=f"rack{i % spec.racks}",
+                cores=inst.cores,
+                memory_mb=inst.memory_mb,
+                disk_read_mb_s=inst.disk_read_mb_s,
+                disk_write_mb_s=inst.disk_write_mb_s,
+                disk_seek_penalty=inst.disk_seek_penalty,
+            )
+            for i in range(spec.num_datanodes)
+        ]
+        self.topology = Topology(self.datanodes)
+        self.network = ClusterNetwork(self.env, self.datanodes,
+                                      bandwidth_mb_s=inst.network_mb_s)
+        self.namenode = NameNode(self.topology, block_size_mb=self.conf.block_size_mb,
+                                 replication=min(self.conf.replication, spec.num_datanodes),
+                                 seed=seed)
+        self.hdfs = HdfsClient(self.env, self.namenode, self.network, self.topology)
+
+        self.datanode_daemons: dict[str, DataNodeDaemon] = {
+            node.node_id: DataNodeDaemon(self.env, node.node_id, self.namenode,
+                                         report_interval_s=3.0)
+            for node in self.datanodes
+        }
+        self.replication_manager = ReplicationManager(
+            self.env, self.namenode, self.network, self.topology)
+
+        self.scheduler = scheduler if scheduler is not None else CapacityScheduler()
+        self.rm = ResourceManager(self.env, self.topology, self.scheduler, self.conf,
+                                  log=self.log)
+        self.node_managers: list[NodeManager] = []
+        for i, node in enumerate(self.datanodes):
+            # Deterministic but spread heartbeat phases, like real daemons
+            # that started at arbitrary times.
+            offset = (i * 0.317) % self.conf.nm_heartbeat_s if self.conf.nm_heartbeat_s else 0.0
+            nm = NodeManager(self.env, node, self.rm, heartbeat_offset=offset)
+            self.rm.register_node_manager(nm)
+            self.node_managers.append(nm)
+
+    # -- convenience -----------------------------------------------------------
+    def load_input_files(self, prefix: str, num_files: int, file_size_mb: float,
+                         spread_writers: bool = True) -> list[str]:
+        """Pre-populate HDFS with input files (no simulated ingest time).
+
+        ``spread_writers`` rotates the primary replica across DataNodes, as
+        data loaded by parallel ``hdfs put`` / TeraGen ends up spread out.
+        Returns the created paths.
+        """
+        paths = []
+        node_ids = self.topology.node_ids
+        for i in range(num_files):
+            path = f"{prefix}/part-{i:05d}"
+            writer = node_ids[i % len(node_ids)] if spread_writers else None
+            self.namenode.create_file(path, file_size_mb, writer_node=writer)
+            paths.append(path)
+        return paths
+
+    def ingest_input_files(self, prefix: str, num_files: int, file_size_mb: float,
+                           gateway_node: str = "dn0"):
+        """*Timed* input ingest: write files through the HDFS data path.
+
+        Unlike :meth:`load_input_files` (instant metadata, for experiments
+        whose clock starts at job submission), this pays the real pipelined
+        replication traffic of an ``hdfs put`` from ``gateway_node``.
+        Returns a process whose value is the list of created paths.
+        """
+
+        def body():
+            paths = []
+            for i in range(num_files):
+                path = f"{prefix}/part-{i:05d}"
+                yield from self.hdfs.write_file(path, file_size_mb, gateway_node)
+                paths.append(path)
+            return paths
+
+        return self.env.process(body(), name=f"ingest-{prefix}")
+
+    def fail_node(self, node_id: str):
+        """Whole-machine failure: YARN containers die, heartbeats stop, the
+        DataNode's replicas are lost, and HDFS re-replication kicks off.
+
+        Returns the re-replication process (completes when replication
+        factors are restored on the survivors).
+        """
+        self.rm.node_managers[node_id].fail()
+        self.datanode_daemons[node_id].fail()
+        return self.replication_manager.handle_datanode_loss(node_id)
+
+    def run(self, until=None):
+        return self.env.run(until=until)

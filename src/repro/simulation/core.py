@@ -1,0 +1,135 @@
+"""The simulation :class:`Environment`: clock, event queue, run loop."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Optional
+
+from .errors import EmptySchedule, SimulationError, StopSimulation
+from .events import AllOf, AnyOf, Event, Process, Timeout, NORMAL
+
+
+class Environment:
+    """Execution environment for a single discrete-event simulation.
+
+    Time is a float in *seconds* by convention throughout this project.
+    Events are processed in (time, priority, insertion-order) order, which
+    makes runs fully deterministic.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_proc: Optional[Process] = None
+        #: Optional callables ``fn(time, event)`` invoked as each event is
+        #: popped; used by tracing/monitoring utilities.
+        self.tracers: list[Callable[[float, Event], None]] = []
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_proc
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any], name: Optional[str] = None) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Queue ``event`` to be processed ``delay`` units from now."""
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when idle."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event.
+
+        An unhandled failed event (no process caught it and nobody defused
+        it) re-raises its exception here, crashing the simulation — mirrors
+        an uncaught exception in a real daemon thread.
+        """
+        try:
+            when, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        self._now = when
+        for tracer in self.tracers:
+            tracer(when, event)
+
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            exc = event._value
+            raise exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run until ``until`` (a time, an event, or queue exhaustion).
+
+        * ``until is None`` — run until no events remain.
+        * ``until`` is a number — run to that simulation time.
+        * ``until`` is an :class:`Event` — run until it fires and return its
+          value.
+        """
+        stop: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop = until
+                if stop.callbacks is None:
+                    # Already processed: nothing to run.
+                    if not stop._ok:
+                        raise stop._value
+                    return stop._value
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(f"until={at} lies in the past (now={self._now})")
+                stop = Timeout(self, at - self._now)
+            stop.callbacks.append(_stop_simulation)  # type: ignore[union-attr]
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as exc:
+            return exc.value
+        except EmptySchedule:
+            if stop is not None and not stop.triggered:
+                raise SimulationError(
+                    "run(until=event) exhausted the schedule before the event fired"
+                ) from None
+            return None
+
+
+def _stop_simulation(event: Event) -> None:
+    if event._ok:
+        raise StopSimulation(event._value)
+    event._defused = True
+    raise event._value

@@ -1,0 +1,21 @@
+"""Spark-lite: the paper's §VI future work — MRapid's techniques on a DAG
+engine with long-lived executors and in-memory stage caching."""
+
+from .dag import (
+    SparkResult,
+    SparkStage,
+    StageResult,
+    stage_from_profile,
+    validate_dag,
+)
+from .runner import SparkExecutor, SparkLiteRunner
+
+__all__ = [
+    "SparkExecutor",
+    "SparkLiteRunner",
+    "SparkResult",
+    "SparkStage",
+    "StageResult",
+    "stage_from_profile",
+    "validate_dag",
+]

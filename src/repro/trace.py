@@ -1,0 +1,175 @@
+"""Workload traces: bursts of short jobs arriving on a shared cluster.
+
+The paper motivates MRapid with ad-hoc query traffic (Hive/Pig stages,
+§I) — many small jobs arriving continuously, not one job on an idle
+cluster. This module generates deterministic Poisson arrival traces over a
+job mix and replays them against one shared simulated cluster, measuring
+per-job response times (sojourn = finish - arrival) under each submission
+strategy. Used by the pool-sizing and burst-throughput benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generator, Optional, Sequence
+
+import numpy as np
+
+from .core.ampool import MODE_DPLUS, MODE_UPLUS
+from .core.speculation import SpeculativeExecutor
+from .mapreduce.client import MODE_AUTO, JobClient
+from .mapreduce.spec import SimJobSpec
+from .workloads.base import WorkloadProfile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .simcluster import SimCluster
+
+
+@dataclass(frozen=True)
+class JobTemplate:
+    """One entry of a job mix."""
+
+    name: str
+    profile: WorkloadProfile
+    num_files: int
+    file_mb: float
+    weight: float = 1.0
+
+
+@dataclass(frozen=True)
+class TraceJob:
+    """A concrete arrival in a trace."""
+
+    arrival_s: float
+    template: JobTemplate
+    index: int
+
+    @property
+    def signature(self) -> str:
+        return self.template.name
+
+
+def poisson_trace(mix: Sequence[JobTemplate], rate_per_minute: float,
+                  duration_s: float, seed: int = 11) -> list[TraceJob]:
+    """Deterministic Poisson arrivals over ``duration_s`` drawn from ``mix``."""
+    if rate_per_minute <= 0 or duration_s <= 0:
+        raise ValueError("rate and duration must be positive")
+    if not mix:
+        raise ValueError("job mix cannot be empty")
+    rng = np.random.default_rng(seed)
+    weights = np.array([t.weight for t in mix], dtype=float)
+    weights = weights / weights.sum()
+
+    jobs: list[TraceJob] = []
+    t = 0.0
+    index = 0
+    rate_per_s = rate_per_minute / 60.0
+    while True:
+        t += rng.exponential(1.0 / rate_per_s)
+        if t >= duration_s:
+            break
+        template = mix[int(rng.choice(len(mix), p=weights))]
+        jobs.append(TraceJob(arrival_s=round(t, 3), template=template, index=index))
+        index += 1
+    return jobs
+
+
+@dataclass
+class TraceStats:
+    """Per-job response times for one replayed trace."""
+
+    strategy: str
+    arrivals: list[float] = field(default_factory=list)
+    responses: list[float] = field(default_factory=list)  # finish - arrival
+    killed: int = 0
+
+    @property
+    def count(self) -> int:
+        return len(self.responses)
+
+    @property
+    def mean_response(self) -> float:
+        return sum(self.responses) / len(self.responses) if self.responses else 0.0
+
+    def percentile(self, q: float) -> float:
+        if not self.responses:
+            return 0.0
+        ordered = sorted(self.responses)
+        k = min(len(ordered) - 1, max(0, math.ceil(q / 100.0 * len(ordered)) - 1))
+        return ordered[k]
+
+    @property
+    def makespan(self) -> float:
+        if not self.responses:
+            return 0.0
+        finishes = [a + r for a, r in zip(self.arrivals, self.responses)]
+        return max(finishes)
+
+    def summary(self) -> str:
+        return (f"{self.strategy}: {self.count} jobs, mean {self.mean_response:.1f}s, "
+                f"p95 {self.percentile(95):.1f}s, makespan {self.makespan:.1f}s")
+
+
+STRATEGY_STOCK = "stock-auto"
+STRATEGY_DPLUS = "mrapid-dplus"
+STRATEGY_UPLUS = "mrapid-uplus"
+STRATEGY_SPECULATIVE = "mrapid-speculative"
+
+
+def replay_trace(cluster: "SimCluster", trace: Sequence[TraceJob],
+                 strategy: str = STRATEGY_SPECULATIVE) -> TraceStats:
+    """Submit every trace job at its arrival time on the shared cluster.
+
+    ``strategy`` selects the submission path:
+
+    * ``stock-auto`` — stock client with Hadoop's uber-eligibility rule;
+    * ``mrapid-dplus`` / ``mrapid-uplus`` — fixed MRapid mode via the pool;
+    * ``mrapid-speculative`` — full Figure 6 protocol with shared history.
+
+    The cluster must match the strategy (stock vs MRapid-built).
+    """
+    env = cluster.env
+    stats = TraceStats(strategy=strategy)
+    framework = getattr(cluster, "mrapid_framework", None)
+    if strategy != STRATEGY_STOCK and framework is None:
+        raise ValueError("MRapid strategies need build_mrapid_cluster()")
+    executor = (SpeculativeExecutor(framework)
+                if strategy == STRATEGY_SPECULATIVE else None)
+    client = JobClient(cluster) if strategy == STRATEGY_STOCK else None
+
+    def one_job(job: TraceJob) -> Generator:
+        yield env.timeout(job.arrival_s)
+        paths = cluster.load_input_files(
+            f"/trace/{job.index:04d}", job.template.num_files, job.template.file_mb)
+        spec = SimJobSpec(job.template.name, tuple(paths), job.template.profile,
+                          signature=job.signature)
+        if strategy == STRATEGY_STOCK:
+            result = yield client.submit(spec, MODE_AUTO)
+        elif strategy == STRATEGY_SPECULATIVE:
+            outcome = yield executor.submit(spec)
+            result = outcome.winner
+        else:
+            mode = MODE_DPLUS if strategy == STRATEGY_DPLUS else MODE_UPLUS
+            handle = framework.submit(spec, mode)
+            result = yield handle.proc
+        stats.arrivals.append(job.arrival_s)
+        stats.responses.append(env.now - job.arrival_s)
+        if result.killed:
+            stats.killed += 1
+
+    procs = [env.process(one_job(job), name=f"trace-{job.index}") for job in trace]
+    if procs:
+        env.run(until=env.all_of(procs))
+    return stats
+
+
+def default_short_job_mix() -> list[JobTemplate]:
+    """A Hive-flavoured mix: mostly small scans, some sorts, tiny aggs."""
+    from .workloads.base import TERASORT_PROFILE, WORDCOUNT_PROFILE
+
+    return [
+        JobTemplate("scan", WORDCOUNT_PROFILE, num_files=4, file_mb=10.0, weight=5),
+        JobTemplate("agg", WORDCOUNT_PROFILE, num_files=1, file_mb=8.0, weight=3),
+        JobTemplate("sort", TERASORT_PROFILE, num_files=4, file_mb=12.0, weight=2),
+    ]

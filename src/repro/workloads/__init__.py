@@ -1,0 +1,86 @@
+"""The paper's benchmark applications, runnable for real + their profiles."""
+
+from .base import (
+    TERASORT_PROFILE,
+    WORDCOUNT_PROFILE,
+    WorkloadProfile,
+    pi_profile,
+)
+from .grep import GREP_PROFILE, reference_grep, run_grep
+from .join import (
+    JOIN_PROFILE,
+    broadcast_join,
+    flatten,
+    generate_tables,
+    reference_join,
+    repartition_join,
+)
+from .pi import count_inside, estimate_pi, halton, halton_points, run_pi
+from .sessions import (
+    SESSIONS_PROFILE,
+    generate_clicks,
+    reference_sessionize,
+    sessionize,
+)
+from .wordstats import (
+    WORDSTATS_PROFILE,
+    reference_word_lengths,
+    word_length_histogram,
+    word_mean,
+    word_median,
+    word_stddev,
+)
+from .terasort import (
+    ROW_BYTES,
+    rows_to_mb,
+    run_terasort,
+    sample_keys,
+    teragen,
+    teravalidate,
+)
+from .textgen import generate_files, generate_text, make_vocabulary, zipf_weights
+from .wordcount import reference_wordcount, run_wordcount, wordcount_job
+
+__all__ = [
+    "GREP_PROFILE",
+    "JOIN_PROFILE",
+    "broadcast_join",
+    "flatten",
+    "generate_tables",
+    "reference_join",
+    "repartition_join",
+    "ROW_BYTES",
+    "SESSIONS_PROFILE",
+    "TERASORT_PROFILE",
+    "WORDSTATS_PROFILE",
+    "generate_clicks",
+    "reference_grep",
+    "reference_sessionize",
+    "reference_word_lengths",
+    "run_grep",
+    "sessionize",
+    "word_length_histogram",
+    "word_mean",
+    "word_median",
+    "word_stddev",
+    "WORDCOUNT_PROFILE",
+    "WorkloadProfile",
+    "count_inside",
+    "estimate_pi",
+    "generate_files",
+    "generate_text",
+    "halton",
+    "halton_points",
+    "make_vocabulary",
+    "pi_profile",
+    "reference_wordcount",
+    "rows_to_mb",
+    "run_pi",
+    "run_terasort",
+    "run_wordcount",
+    "sample_keys",
+    "teragen",
+    "teravalidate",
+    "wordcount_job",
+    "zipf_weights",
+]

@@ -1,0 +1,134 @@
+"""Workload profiles: the simulator-facing cost model of an application.
+
+A profile answers, for each task, "how much CPU and how many bytes" — the
+simulator turns those into time via the cluster's contended devices. The
+constants are calibrated from the *real* functional engine in
+:mod:`repro.calibration` (scaled to the paper's 2013-era Java stack).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Per-application cost constants used by the simulated tasks."""
+
+    name: str
+    #: CPU-seconds of map function per MB of split input.
+    map_cpu_s_per_mb: float
+    #: Fixed CPU-seconds per map task regardless of input size (PI's samples).
+    map_cpu_fixed_s: float = 0.0
+    #: Map output bytes per input byte *after* the combiner (s^o / s^i).
+    map_output_ratio: float = 1.0
+    #: Absolute map output MB per task when input-independent (PI emits a
+    #: constant few bytes regardless of "input size"). None = use the ratio.
+    map_output_fixed_mb: float | None = None
+    #: Raw (pre-combiner) map output per input byte. This is what U+ must
+    #: hold in RAM to skip the spill; for WordCount it is ~5x the combined
+    #: size because every token becomes a (word, 1) pair. None = same as
+    #: ``map_output_ratio``.
+    map_raw_output_ratio: float | None = None
+    #: CPU-seconds of reduce function per MB of shuffled input.
+    reduce_cpu_s_per_mb: float = 0.1
+    #: Fixed CPU-seconds per reduce task.
+    reduce_cpu_fixed_s: float = 0.1
+    #: Final output bytes per shuffled byte.
+    reduce_output_ratio: float = 1.0
+    #: Relative per-task compute skew (+/- fraction). Real inputs are not
+    #: uniform — per-split record mixes differ — so map durations spread out;
+    #: this is what makes map-phase effects visible past the reduce ramp-up,
+    #: exactly as on a real cluster. Deterministic per task (see
+    #: :func:`task_skew_factor`), so runs stay reproducible.
+    compute_skew: float = 0.15
+    #: Probability that a given task *attempt* fails transiently (bad disk
+    #: sector, OOM-killed JVM, ...). Deterministic per attempt id, so retries
+    #: succeed unless the rate is extreme. 0 = fault-free (default).
+    transient_failure_rate: float = 0.0
+
+    def map_cpu_s(self, split_mb: float) -> float:
+        return self.map_cpu_fixed_s + split_mb * self.map_cpu_s_per_mb
+
+    def map_output_mb(self, split_mb: float) -> float:
+        if self.map_output_fixed_mb is not None:
+            return self.map_output_fixed_mb
+        return split_mb * self.map_output_ratio
+
+    def map_raw_output_mb(self, split_mb: float) -> float:
+        if self.map_output_fixed_mb is not None:
+            return self.map_output_fixed_mb
+        ratio = (self.map_raw_output_ratio
+                 if self.map_raw_output_ratio is not None else self.map_output_ratio)
+        return split_mb * ratio
+
+    def reduce_cpu_s(self, shuffle_mb: float) -> float:
+        return self.reduce_cpu_fixed_s + shuffle_mb * self.reduce_cpu_s_per_mb
+
+    def reduce_output_mb(self, shuffle_mb: float) -> float:
+        return shuffle_mb * self.reduce_output_ratio
+
+    def with_(self, **kwargs) -> "WorkloadProfile":
+        return replace(self, **kwargs)
+
+
+def task_skew_factor(profile: WorkloadProfile, task_key: str) -> float:
+    """Deterministic compute multiplier in [1-skew, 1+skew] for one task."""
+    if profile.compute_skew <= 0:
+        return 1.0
+    digest = hashlib.md5(task_key.encode()).digest()
+    unit = int.from_bytes(digest[:4], "big") / 0xFFFFFFFF  # [0, 1]
+    return 1.0 + profile.compute_skew * (2.0 * unit - 1.0)
+
+
+def attempt_fails(profile: WorkloadProfile, attempt_key: str) -> bool:
+    """Deterministic transient-failure draw for one task attempt."""
+    if profile.transient_failure_rate <= 0:
+        return False
+    digest = hashlib.md5(attempt_key.encode()).digest()
+    unit = int.from_bytes(digest[4:8], "big") / 0xFFFFFFFF
+    return unit < profile.transient_failure_rate
+
+
+#: Calibrated default profiles for the paper's three benchmarks.
+#: WordCount: CPU-heavy tokenisation; the combiner collapses output sharply.
+WORDCOUNT_PROFILE = WorkloadProfile(
+    name="wordcount",
+    map_cpu_s_per_mb=0.60,
+    map_output_ratio=0.30,
+    map_raw_output_ratio=1.7,
+    reduce_cpu_s_per_mb=0.15,
+    reduce_output_ratio=0.35,
+    compute_skew=0.35,   # natural-language splits vary a lot per file
+)
+
+#: TeraSort: identity map/reduce, I/O bound, output == input.
+TERASORT_PROFILE = WorkloadProfile(
+    name="terasort",
+    map_cpu_s_per_mb=0.06,
+    map_output_ratio=1.0,
+    reduce_cpu_s_per_mb=0.08,
+    reduce_output_ratio=1.0,
+    compute_skew=0.10,   # fixed-width rows: near-uniform splits
+)
+
+
+def pi_profile(total_samples: float, num_maps: int,
+               cost_per_sample_s: float = 5.0e-8) -> WorkloadProfile:
+    """PI estimator: pure compute, trivially small I/O.
+
+    Each map draws ``total_samples / num_maps`` quasi-random points; output
+    is a single (inside, outside) pair.
+    """
+    per_map = total_samples / max(1, num_maps)
+    return WorkloadProfile(
+        name="pi",
+        map_cpu_s_per_mb=0.0,
+        map_cpu_fixed_s=per_map * cost_per_sample_s,
+        map_output_fixed_mb=0.001,
+        reduce_cpu_s_per_mb=0.0,
+        reduce_cpu_fixed_s=0.05,
+        reduce_output_ratio=1.0,
+        compute_skew=0.05,   # identical per-map sample counts
+    )

@@ -1,0 +1,81 @@
+"""Grep: the Hadoop-examples regex scan, as a real engine job.
+
+Hadoop's grep actually runs *two* chained MapReduce jobs: a search job that
+counts regex matches, and a tiny sort job that orders matches by frequency
+descending. Both are implemented here over real text; the one-line
+:func:`run_grep` wraps the chain. Grep is the archetypal ad-hoc short job —
+heavy input scan, near-zero intermediate data — so it stresses exactly the
+start-up overheads MRapid removes.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterator, Sequence
+
+from ..engine import EngineJob, JobOutput, LocalJobRunner, PairInputFormat, TextInputFormat
+from ..engine.types import MapContext, ReduceContext
+from .base import WorkloadProfile
+
+#: Scan-heavy, tiny output: the simulator-facing cost profile.
+GREP_PROFILE = WorkloadProfile(
+    name="grep",
+    map_cpu_s_per_mb=0.40,
+    map_output_ratio=0.02,
+    map_raw_output_ratio=0.05,
+    reduce_cpu_s_per_mb=0.05,
+    reduce_output_ratio=1.0,
+    compute_skew=0.30,
+)
+
+
+def _search_job(pattern: str) -> EngineJob:
+    compiled = re.compile(pattern)
+
+    def mapper(_offset: Any, line: str, ctx: MapContext) -> None:
+        for match in compiled.findall(line):
+            text = match if isinstance(match, str) else match[0]
+            ctx.emit(text, 1)
+
+    def reducer(key: Any, values: Iterator[int], ctx: ReduceContext) -> None:
+        ctx.emit(key, sum(values))
+
+    return EngineJob("grep-search", mapper, reducer, combiner=reducer,
+                     num_reduces=1)
+
+
+def _sort_job() -> EngineJob:
+    """Order (match, count) pairs by descending count (Hadoop's grep-sort)."""
+
+    def mapper(key: Any, value: int, ctx: MapContext) -> None:
+        ctx.emit(-value, key)  # negate so ascending sort gives descending count
+
+    def reducer(neg_count: int, values: Iterator[str], ctx: ReduceContext) -> None:
+        for match in sorted(values):
+            ctx.emit(match, -neg_count)
+
+    return EngineJob("grep-sort", mapper, reducer, num_reduces=1)
+
+
+def run_grep(files: Sequence[tuple[str, str]], pattern: str,
+             parallel_maps: int = 1) -> JobOutput:
+    """Search ``pattern`` across ``files``; output sorted by frequency desc."""
+    runner = LocalJobRunner(parallel_maps=parallel_maps)
+    search = runner.run(_search_job(pattern), TextInputFormat.splits(files))
+
+    pairs = search.results()
+    size = sum(len(str(k)) + 8 for k, _v in pairs)
+    sort_input = PairInputFormat.splits([("grep-intermediate", pairs, size)])
+    return runner.run(_sort_job(), sort_input)
+
+
+def reference_grep(files: Sequence[tuple[str, str]], pattern: str) -> list[tuple[str, int]]:
+    """Oracle: (match, count) sorted by count desc, then match asc."""
+    compiled = re.compile(pattern)
+    counts: dict[str, int] = {}
+    for _name, content in files:
+        for line in content.split("\n"):
+            for match in compiled.findall(line):
+                text = match if isinstance(match, str) else match[0]
+                counts[text] = counts.get(text, 0) + 1
+    return sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))

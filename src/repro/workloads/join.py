@@ -1,0 +1,156 @@
+"""Joins: repartition (reduce-side) and broadcast (map-side).
+
+The bread-and-butter of Hive query plans. The reduce-side join uses the
+engine's secondary sort so each user's dimension record arrives *before*
+their fact records — the textbook tagged-union repartition join. The
+broadcast join ships the small table to every mapper instead (no shuffle),
+the right choice when one side fits in memory.
+
+Input lines are tagged at generation time, as an upstream ETL stage would:
+``U<TAB>user<TAB>name`` and ``O<TAB>user<TAB>order_id<TAB>amount``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from ..engine import EngineJob, JobOutput, LocalJobRunner, TextInputFormat, stable_hash
+from ..engine.types import MapContext, ReduceContext
+from .base import WorkloadProfile
+
+JOIN_PROFILE = WorkloadProfile(
+    name="join",
+    map_cpu_s_per_mb=0.25,
+    map_output_ratio=1.1,
+    map_raw_output_ratio=1.1,
+    reduce_cpu_s_per_mb=0.25,
+    reduce_output_ratio=1.3,
+    compute_skew=0.25,
+)
+
+USER_TAG = "U"
+ORDER_TAG = "O"
+
+
+def generate_tables(num_users: int, orders_per_user: float, seed: int = 9,
+                    num_files: int = 2) -> tuple[list[tuple[str, str]],
+                                                 list[tuple[str, str]]]:
+    """(user_files, order_files) with tagged TSV lines.
+
+    Some orders reference unknown users (dangling foreign keys) so the join
+    semantics are actually exercised.
+    """
+    rng = np.random.default_rng(seed)
+    users = [f"u{i:05d}" for i in range(num_users)]
+    user_lines = [f"{USER_TAG}\t{u}\tname-{u}" for u in users]
+
+    n_orders = int(num_users * orders_per_user)
+    order_lines = []
+    for i in range(n_orders):
+        if num_users and rng.random() > 0.05:
+            user = users[int(rng.integers(0, num_users))]
+        else:
+            user = f"ghost{int(rng.integers(0, 100)):03d}"  # dangling FK
+        amount = round(float(rng.uniform(1, 500)), 2)
+        order_lines.append(f"{ORDER_TAG}\t{user}\to{i:06d}\t{amount}")
+
+    def split(lines: list[str]) -> list[tuple[str, str]]:
+        per = -(-len(lines) // num_files) if lines else 1
+        return [(f"part-{i}", "\n".join(lines[i * per:(i + 1) * per]))
+                for i in range(num_files)]
+
+    return split(user_lines), split(order_lines)
+
+
+def _join_mapper(_offset: Any, line: str, ctx: MapContext) -> None:
+    fields = line.split("\t")
+    if not fields or not fields[0]:
+        return
+    tag, user = fields[0], fields[1]
+    # Key: (user, tag). "O" < "U" lexically, so sort DESC on tag by negating:
+    # use (user, 0 for U, 1 for O) so the dimension record leads its group.
+    order_rank = 0 if tag == USER_TAG else 1
+    ctx.emit((user, order_rank), tuple(fields[2:]))
+
+
+def _join_reducer(first_key: tuple, pairs: Iterator[tuple],
+                  ctx: ReduceContext) -> None:
+    user = first_key[0]
+    name = None
+    for (u, rank), payload in pairs:
+        if rank == 0:
+            name = payload[0]
+        else:
+            order_id, amount = payload
+            if name is not None:  # inner join: drop dangling orders
+                ctx.emit(user, (order_id, float(amount), name))
+
+
+def repartition_join(user_files: Sequence[tuple[str, str]],
+                     order_files: Sequence[tuple[str, str]],
+                     num_reduces: int = 2, parallel_maps: int = 1) -> JobOutput:
+    """Reduce-side inner join: (user, (order_id, amount, name)) records."""
+    job = EngineJob(
+        name="repartition-join",
+        mapper=_join_mapper,
+        reducer=_join_reducer,
+        num_reduces=num_reduces,
+        grouping_key=lambda k: k[0],
+        partitioner=lambda k, n: stable_hash(k[0]) % n,
+    )
+    splits = TextInputFormat.splits(list(user_files) + list(order_files))
+    return LocalJobRunner(parallel_maps=parallel_maps).run(job, splits)
+
+
+def broadcast_join(user_files: Sequence[tuple[str, str]],
+                   order_files: Sequence[tuple[str, str]],
+                   parallel_maps: int = 1) -> JobOutput:
+    """Map-side join: the user table is broadcast into every mapper."""
+    lookup: dict[str, str] = {}
+    for _name, content in user_files:
+        for line in content.split("\n"):
+            fields = line.split("\t")
+            if len(fields) >= 3 and fields[0] == USER_TAG:
+                lookup[fields[1]] = fields[2]
+
+    def mapper(_offset: Any, line: str, ctx: MapContext) -> None:
+        fields = line.split("\t")
+        if len(fields) >= 4 and fields[0] == ORDER_TAG:
+            name = lookup.get(fields[1])
+            if name is not None:
+                ctx.emit(fields[1], (fields[2], float(fields[3]), name))
+
+    def identity_reducer(key: Any, values: Iterator, ctx: ReduceContext) -> None:
+        for value in values:
+            ctx.emit(key, value)
+
+    job = EngineJob("broadcast-join", mapper, identity_reducer, num_reduces=1)
+    splits = TextInputFormat.splits(list(order_files))
+    return LocalJobRunner(parallel_maps=parallel_maps).run(job, splits)
+
+
+def reference_join(user_files: Sequence[tuple[str, str]],
+                   order_files: Sequence[tuple[str, str]]
+                   ) -> set[tuple[str, str, float, str]]:
+    """Oracle inner join as flat (user, order_id, amount, name) tuples."""
+    names: dict[str, str] = {}
+    for _n, content in user_files:
+        for line in content.split("\n"):
+            fields = line.split("\t")
+            if len(fields) >= 3:
+                names[fields[1]] = fields[2]
+    out = set()
+    for _n, content in order_files:
+        for line in content.split("\n"):
+            fields = line.split("\t")
+            if len(fields) >= 4 and fields[1] in names:
+                out.add((fields[1], fields[2], float(fields[3]),
+                         names[fields[1]]))
+    return out
+
+
+def flatten(output: JobOutput) -> set[tuple[str, str, float, str]]:
+    return {(user, oid, amount, name)
+            for user, (oid, amount, name) in output.results()}

@@ -1,0 +1,100 @@
+"""PI: quasi-Monte Carlo estimation with a 2-D Halton sequence.
+
+Faithful to Hadoop's PiEstimator: each map draws points from the
+low-discrepancy Halton sequence (bases 2 and 3), counts how many land
+inside the circle of radius 1/2 centred at (1/2, 1/2), and the single
+reducer combines the counts into 4 * inside / total.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..engine import EngineJob, JobOutput, LocalJobRunner, PairInputFormat
+from ..engine.types import MapContext, ReduceContext
+
+
+def halton(index: int, base: int) -> float:
+    """The ``index``-th element (1-based) of the van der Corput sequence."""
+    if index < 1:
+        raise ValueError("Halton index is 1-based")
+    result = 0.0
+    f = 1.0 / base
+    i = index
+    while i > 0:
+        result += f * (i % base)
+        i //= base
+        f /= base
+    return result
+
+
+def halton_points(offset: int, count: int) -> np.ndarray:
+    """``count`` 2-D Halton points starting at sequence position ``offset``.
+
+    Vectorized digit expansion: the sequence is deterministic, so maps with
+    disjoint (offset, count) ranges partition the sample space exactly like
+    Hadoop's per-map offsets.
+    """
+    indices = np.arange(offset + 1, offset + count + 1, dtype=np.int64)
+    points = np.empty((count, 2))
+    for dim, base in enumerate((2, 3)):
+        result = np.zeros(count)
+        f = 1.0 / base
+        i = indices.copy()
+        while i.max() > 0:
+            result += f * (i % base)
+            i //= base
+            f /= base
+        points[:, dim] = result
+    return points
+
+
+def count_inside(offset: int, samples: int) -> tuple[int, int]:
+    """(inside, outside) for ``samples`` Halton points from ``offset``."""
+    if samples == 0:
+        return 0, 0
+    pts = halton_points(offset, samples)
+    d2 = (pts[:, 0] - 0.5) ** 2 + (pts[:, 1] - 0.5) ** 2
+    inside = int((d2 <= 0.25).sum())
+    return inside, samples - inside
+
+
+def _pi_mapper(_task_id: int, assignment: tuple[int, int], ctx: MapContext) -> None:
+    offset, samples = assignment
+    inside, outside = count_inside(offset, samples)
+    ctx.emit("inside", inside)
+    ctx.emit("outside", outside)
+
+
+def _pi_reducer(key: str, values: Iterator[int], ctx: ReduceContext) -> None:
+    ctx.emit(key, sum(values))
+
+
+def run_pi(num_maps: int, samples_per_map: int, parallel_maps: int = 1) -> JobOutput:
+    """Run the PI job; see :func:`estimate_from_output` for the estimate."""
+    if num_maps < 1 or samples_per_map < 0:
+        raise ValueError("need >= 1 map and non-negative samples")
+    datasets = []
+    for m in range(num_maps):
+        records: Sequence = [(m, (m * samples_per_map, samples_per_map))]
+        datasets.append((f"pi-part-{m:05d}", records, 24))
+    job = EngineJob(name="pi", mapper=_pi_mapper, reducer=_pi_reducer,
+                    combiner=None, num_reduces=1)
+    runner = LocalJobRunner(parallel_maps=parallel_maps)
+    return runner.run(job, PairInputFormat.splits(datasets))
+
+
+def estimate_from_output(output: JobOutput) -> float:
+    counts = output.as_dict()
+    inside = counts.get("inside", 0)
+    outside = counts.get("outside", 0)
+    total = inside + outside
+    if total == 0:
+        raise ValueError("no samples drawn")
+    return 4.0 * inside / total
+
+
+def estimate_pi(num_maps: int, samples_per_map: int, parallel_maps: int = 1) -> float:
+    return estimate_from_output(run_pi(num_maps, samples_per_map, parallel_maps))

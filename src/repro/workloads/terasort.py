@@ -1,0 +1,120 @@
+"""TeraGen / TeraSort / TeraValidate over real 100-byte rows.
+
+Row format follows GraySort/Hadoop TeraGen: a 10-byte random key, a 10-byte
+row id, and 78 bytes of filler (we keep them as Python ``bytes``). TeraSort
+samples the input to build a total-order partitioner, sorts within each
+reduce partition, and partition order gives the global order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from ..engine import (
+    EngineJob,
+    JobOutput,
+    LocalJobRunner,
+    PairInputFormat,
+    TotalOrderPartitioner,
+)
+from ..engine.io import RecordSplit
+from ..engine.types import MapContext, ReduceContext
+
+ROW_BYTES = 100
+KEY_BYTES = 10
+
+
+def teragen(num_rows: int, seed: int = 0, num_files: int = 1
+            ) -> list[list[tuple[bytes, bytes]]]:
+    """Generate ``num_rows`` rows spread over ``num_files`` inputs.
+
+    Returns per-file lists of (key, value) pairs; key is 10 random bytes
+    (printable range, like TeraGen's ASCII keys), value is the remaining 90.
+    """
+    if num_rows < 0:
+        raise ValueError("num_rows cannot be negative")
+    if num_files < 1:
+        raise ValueError("num_files must be >= 1")
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(32, 127, size=(num_rows, KEY_BYTES), dtype=np.uint8)
+    files: list[list[tuple[bytes, bytes]]] = [[] for _ in range(num_files)]
+    per_file = -(-num_rows // num_files) if num_rows else 0
+    for row in range(num_rows):
+        key = keys[row].tobytes()
+        value = b"%010d" % row + b"X" * (ROW_BYTES - KEY_BYTES - 10)
+        files[min(row // per_file, num_files - 1)].append((key, value))
+    return files
+
+
+def terasort_splits(files: Sequence[Sequence[tuple[bytes, bytes]]]) -> list[RecordSplit]:
+    return PairInputFormat.splits([
+        (f"teragen-{i:05d}", rows, len(rows) * ROW_BYTES)
+        for i, rows in enumerate(files)
+    ])
+
+
+def _identity_mapper(key: bytes, value: bytes, ctx: MapContext) -> None:
+    ctx.emit(key, value)
+
+
+def _first_value_reducer(key: bytes, values: Iterator[bytes], ctx: ReduceContext) -> None:
+    for value in values:  # duplicate keys are kept (stable total sort)
+        ctx.emit(key, value)
+
+
+def sample_keys(files: Sequence[Sequence[tuple[bytes, bytes]]],
+                sample_size: int = 1000, seed: int = 1) -> list[bytes]:
+    """TeraSort's input sampler: uniform row sample across all inputs."""
+    all_rows = sum(len(f) for f in files)
+    if all_rows == 0:
+        return []
+    rng = np.random.default_rng(seed)
+    picks = sorted(rng.integers(0, all_rows, size=min(sample_size, all_rows)).tolist())
+    keys: list[bytes] = []
+    base = 0
+    it = iter(picks)
+    want = next(it, None)
+    for rows in files:
+        while want is not None and base <= want < base + len(rows):
+            keys.append(rows[want - base][0])
+            want = next(it, None)
+        base += len(rows)
+    return keys
+
+
+def run_terasort(files: Sequence[Sequence[tuple[bytes, bytes]]],
+                 num_reduces: int = 4, parallel_maps: int = 1,
+                 sample_size: int = 1000) -> JobOutput:
+    """Totally order the generated rows."""
+    partitioner = TotalOrderPartitioner.from_sample(
+        sample_keys(files, sample_size), num_reduces)
+    job = EngineJob(
+        name="terasort",
+        mapper=_identity_mapper,
+        reducer=_first_value_reducer,
+        combiner=None,
+        num_reduces=partitioner.num_partitions,
+        partitioner=partitioner,
+    )
+    runner = LocalJobRunner(parallel_maps=parallel_maps)
+    return runner.run(job, terasort_splits(files))
+
+
+def teravalidate(output: JobOutput) -> tuple[bool, int]:
+    """(globally sorted?, total rows) — the TeraValidate check."""
+    total = 0
+    previous: bytes | None = None
+    for partition in output.partitions:
+        for key, _value in partition:
+            if previous is not None and key < previous:
+                return False, total
+            previous = key
+            total += 1
+    return True, total
+
+
+def rows_to_mb(num_rows: int) -> float:
+    """Simulator-facing size of a TeraGen dataset."""
+    return num_rows * ROW_BYTES / (1024.0 * 1024.0)

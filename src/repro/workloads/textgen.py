@@ -1,0 +1,78 @@
+"""Deterministic synthetic text corpus (Zipf-distributed words).
+
+Stands in for the text inputs of the paper's WordCount runs: real bytes the
+functional engine tokenizes, with a realistic heavy-tailed word frequency so
+the combiner's compression ratio is meaningful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_CONSONANTS = "bcdfghjklmnpqrstvwz"
+_VOWELS = "aeiou"
+
+
+def make_vocabulary(size: int, seed: int = 13) -> list[str]:
+    """``size`` pronounceable pseudo-words, deterministic in ``seed``."""
+    if size < 1:
+        raise ValueError("vocabulary size must be >= 1")
+    rng = np.random.default_rng(seed)
+    vocab: list[str] = []
+    seen = set()
+    while len(vocab) < size:
+        syllables = rng.integers(1, 4)
+        word = "".join(
+            _CONSONANTS[rng.integers(len(_CONSONANTS))] + _VOWELS[rng.integers(len(_VOWELS))]
+            for _ in range(syllables)
+        )
+        if word not in seen:
+            seen.add(word)
+            vocab.append(word)
+    return vocab
+
+
+def zipf_weights(n: int, exponent: float = 1.1) -> np.ndarray:
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+def generate_text(size_mb: float, seed: int = 42, vocabulary_size: int = 5000,
+                  words_per_line: int = 12, zipf_exponent: float = 1.1) -> str:
+    """~``size_mb`` MB of Zipf text, deterministic in ``seed``."""
+    if size_mb <= 0:
+        raise ValueError("size_mb must be positive")
+    vocab = make_vocabulary(vocabulary_size, seed=13)
+    weights = zipf_weights(vocabulary_size, zipf_exponent)
+    rng = np.random.default_rng(seed)
+    target_bytes = int(size_mb * 1024 * 1024)
+
+    # Average word length ~6 chars + separator: draw in bulk for speed.
+    approx_words = max(words_per_line, int(target_bytes / 7))
+    indices = rng.choice(vocabulary_size, size=approx_words, p=weights)
+    words = [vocab[i] for i in indices]
+
+    lines: list[str] = []
+    total = 0
+    for start in range(0, len(words), words_per_line):
+        line = " ".join(words[start:start + words_per_line])
+        lines.append(line)
+        total += len(line) + 1
+        if total >= target_bytes:
+            break
+    while total < target_bytes:  # top up if the bulk draw fell short
+        extra = rng.choice(vocabulary_size, size=words_per_line, p=weights)
+        line = " ".join(vocab[i] for i in extra)
+        lines.append(line)
+        total += len(line) + 1
+    return "\n".join(lines)
+
+
+def generate_files(num_files: int, size_mb: float, seed: int = 42,
+                   **kwargs) -> list[tuple[str, str]]:
+    """(name, content) pairs, each file independently seeded."""
+    return [
+        (f"part-{i:05d}", generate_text(size_mb, seed=seed + i, **kwargs))
+        for i in range(num_files)
+    ]

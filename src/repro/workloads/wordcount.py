@@ -1,0 +1,50 @@
+"""WordCount: the paper's primary benchmark, as a real engine job.
+
+Identical in structure to ``hadoop-mapreduce-examples wordcount``: tokenize
+on whitespace, emit (word, 1), combine and reduce by summation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Iterator, Sequence
+
+from ..engine import EngineJob, JobOutput, LocalJobRunner, TextInputFormat
+from ..engine.types import MapContext, ReduceContext
+
+
+def wordcount_mapper(_offset: Any, line: str, ctx: MapContext) -> None:
+    for word in line.split():
+        ctx.emit(word, 1)
+
+
+def sum_reducer(key: Any, values: Iterator[int], ctx: ReduceContext) -> None:
+    ctx.emit(key, sum(values))
+
+
+def wordcount_job(num_reduces: int = 1, use_combiner: bool = True) -> EngineJob:
+    return EngineJob(
+        name="wordcount",
+        mapper=wordcount_mapper,
+        reducer=sum_reducer,
+        combiner=sum_reducer if use_combiner else None,
+        num_reduces=num_reduces,
+    )
+
+
+def run_wordcount(files: Sequence[tuple[str, str]], parallel_maps: int = 1,
+                  num_reduces: int = 1, use_combiner: bool = True,
+                  sort_buffer_bytes: int = 4 * 1024 * 1024) -> JobOutput:
+    """Count words across ``files`` ((name, content) pairs)."""
+    runner = LocalJobRunner(parallel_maps=parallel_maps,
+                            sort_buffer_bytes=sort_buffer_bytes)
+    splits = TextInputFormat.splits(files)
+    return runner.run(wordcount_job(num_reduces, use_combiner), splits)
+
+
+def reference_wordcount(files: Sequence[tuple[str, str]]) -> dict[str, int]:
+    """Independent oracle used by the tests."""
+    counts: Counter = Counter()
+    for _name, content in files:
+        counts.update(content.split())
+    return dict(counts)

@@ -1,0 +1,87 @@
+"""Word statistics: the wordmean / wordmedian / word-stddev example jobs.
+
+Hadoop's examples package ships three tiny statistics jobs over word
+lengths; Hive-style ad-hoc analytics look exactly like this. All three run
+as one engine job here (emit per-word-length counts, aggregate centrally)
+plus pure-Python oracles for the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator, Sequence
+
+from ..engine import EngineJob, JobOutput, LocalJobRunner, TextInputFormat
+from ..engine.types import MapContext, ReduceContext
+from .base import WorkloadProfile
+
+WORDSTATS_PROFILE = WorkloadProfile(
+    name="wordstats",
+    map_cpu_s_per_mb=0.45,
+    map_output_ratio=0.02,
+    map_raw_output_ratio=0.4,
+    reduce_cpu_s_per_mb=0.05,
+    reduce_output_ratio=0.5,
+    compute_skew=0.30,
+)
+
+
+def _length_mapper(_offset: Any, line: str, ctx: MapContext) -> None:
+    for word in line.split():
+        ctx.emit(len(word), 1)
+
+
+def _sum_reducer(key: int, values: Iterator[int], ctx: ReduceContext) -> None:
+    ctx.emit(key, sum(values))
+
+
+def word_length_histogram(files: Sequence[tuple[str, str]],
+                          parallel_maps: int = 1) -> JobOutput:
+    """(word length -> count), the shared substrate of all three stats."""
+    job = EngineJob("wordstats", _length_mapper, _sum_reducer,
+                    combiner=_sum_reducer, num_reduces=1)
+    return LocalJobRunner(parallel_maps=parallel_maps).run(
+        job, TextInputFormat.splits(files))
+
+
+def _histogram(output: JobOutput) -> list[tuple[int, int]]:
+    return sorted(output.as_dict().items())
+
+
+def word_mean(output: JobOutput) -> float:
+    pairs = _histogram(output)
+    total = sum(count for _length, count in pairs)
+    if not total:
+        raise ValueError("no words")
+    return sum(length * count for length, count in pairs) / total
+
+
+def word_median(output: JobOutput) -> int:
+    pairs = _histogram(output)
+    total = sum(count for _length, count in pairs)
+    if not total:
+        raise ValueError("no words")
+    midpoint = (total + 1) // 2
+    seen = 0
+    for length, count in pairs:
+        seen += count
+        if seen >= midpoint:
+            return length
+    return pairs[-1][0]  # pragma: no cover - unreachable
+
+
+def word_stddev(output: JobOutput) -> float:
+    pairs = _histogram(output)
+    total = sum(count for _length, count in pairs)
+    if not total:
+        raise ValueError("no words")
+    mean = word_mean(output)
+    variance = sum(count * (length - mean) ** 2 for length, count in pairs) / total
+    return math.sqrt(variance)
+
+
+def reference_word_lengths(files: Sequence[tuple[str, str]]) -> list[int]:
+    lengths: list[int] = []
+    for _name, content in files:
+        lengths.extend(len(w) for w in content.split())
+    return lengths

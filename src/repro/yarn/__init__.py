@@ -1,0 +1,25 @@
+"""Simulated YARN: ResourceManager, NodeManagers, schedulers, records."""
+
+from .nodemanager import NodeManager
+from .records import Application, Container, ContainerRequest, NodeState, next_app_id
+from .resourcemanager import AMContext, JobKilled, ResourceManager
+from .scheduler import CapacityScheduler, PendingAsk, SchedulerBase
+from .queues import MultiTenantCapacityScheduler, QueueConfig, QueueState
+
+__all__ = [
+    "AMContext",
+    "Application",
+    "CapacityScheduler",
+    "Container",
+    "ContainerRequest",
+    "JobKilled",
+    "MultiTenantCapacityScheduler",
+    "NodeManager",
+    "NodeState",
+    "PendingAsk",
+    "QueueConfig",
+    "QueueState",
+    "ResourceManager",
+    "SchedulerBase",
+    "next_app_id",
+]

@@ -1,0 +1,100 @@
+"""NodeManager: heartbeats to the RM and launches containers (JVMs)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+
+from ..simulation.errors import Interrupt
+from .records import Container
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.node import Node
+    from ..simulation.core import Environment
+    from ..simulation.events import Process
+    from .resourcemanager import ResourceManager
+
+
+class NodeManager:
+    """Per-node daemon.
+
+    * Heartbeats every ``nm_heartbeat_s`` (phase-offset per node, as real NMs
+      start at arbitrary times) — the stock scheduler only hands out
+      containers inside these heartbeats.
+    * ``launch(container, runnable)`` models container start-up (JVM spawn +
+      localization, ``container_launch_s``) before running the payload.
+    """
+
+    def __init__(self, env: "Environment", node: "Node", rm: "ResourceManager",
+                 heartbeat_offset: float = 0.0) -> None:
+        self.env = env
+        self.node = node
+        self.rm = rm
+        self.heartbeat_offset = heartbeat_offset
+        self.failed = False
+        self.failed_at: float = float("inf")
+        self.running: dict[int, "Process"] = {}
+        self._heartbeat_proc = env.process(self._heartbeat_loop(), name=f"nm-hb-{node.node_id}")
+
+    @property
+    def node_id(self) -> str:
+        return self.node.node_id
+
+    def _heartbeat_loop(self) -> Generator:
+        period = self.rm.conf.nm_heartbeat_s
+        yield self.env.timeout(self.heartbeat_offset % period if period > 0 else 0.0)
+        while True:
+            self.rm.node_heartbeat(self.node_id)
+            yield self.env.timeout(period)
+
+    def launch(self, container: Container, runnable: Generator,
+               name: str = "container", launch_delay: Optional[float] = None,
+               on_exit: Optional[Callable[[Container, Any], None]] = None) -> "Process":
+        """Start ``runnable`` inside ``container`` after JVM launch delay.
+
+        Returns the container process; its value is the runnable's return
+        value. The container's resources are released to the RM when the
+        payload exits (normally, by error, or killed).
+        """
+        delay = self.rm.conf.container_launch_s if launch_delay is None else launch_delay
+
+        def body() -> Generator:
+            try:
+                if delay > 0:
+                    yield self.env.timeout(delay)
+                result = yield from runnable
+                return result
+            finally:
+                self.running.pop(container.container_id, None)
+                self.rm.container_finished(container)
+                if on_exit is not None:
+                    on_exit(container, None)
+
+        proc = self.env.process(body(), name=f"{name}@{self.node_id}")
+        self.running[container.container_id] = proc
+        return proc
+
+    def kill_container(self, container: Container, cause: Any = "killed") -> None:
+        proc = self.running.get(container.container_id)
+        if proc is not None and proc.is_alive:
+            proc.interrupt(cause)
+
+    def fail(self, cause: Any = "node failure") -> None:
+        """The machine dies: heartbeats stop, every running container is
+        killed, and the RM marks the node lost (no further allocations).
+
+        Containers fail with :class:`~repro.simulation.errors.Interrupt`
+        carrying ``cause``; AMs observe the failed task attempts and retry
+        on surviving nodes.
+        """
+        if self.failed:
+            return
+        self.failed = True
+        self.failed_at = self.env.now
+        if self._heartbeat_proc.is_alive:
+            self._heartbeat_proc.defuse()
+            self._heartbeat_proc.interrupt(cause)
+        for proc in list(self.running.values()):
+            if proc.is_alive:
+                proc.defuse()
+                proc.interrupt(cause)
+        self.rm.node_lost(self.node_id)

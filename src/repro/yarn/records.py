@@ -1,0 +1,133 @@
+"""YARN protocol records: containers, requests, node state, applications."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from ..cluster.resources import ResourceVector
+from ..cluster.topology import Locality
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simulation.events import Event
+
+
+@dataclass(frozen=True)
+class Container:
+    """A granted allocation: the right to run one process on a node.
+
+    ``tag`` is only set by schedulers that bind a grant to a specific task
+    (the D+ scheduler assigns tasks to nodes itself, Algorithm 1 line 7);
+    the stock scheduler leaves it ``None`` and the AM matches by locality.
+    """
+
+    container_id: int
+    node_id: str
+    resource: ResourceVector
+    app_id: str
+    tag: Any = None
+
+
+@dataclass
+class ContainerRequest:
+    """An AM's ask for one container, with data-locality preferences.
+
+    ``preferred_nodes`` are the nodes holding the task's input replicas;
+    ``relax_locality`` permits RackLocal/ANY placement (always true for
+    MapReduce map requests, as in real Hadoop).
+    """
+
+    resource: ResourceVector
+    preferred_nodes: tuple[str, ...] = ()
+    relax_locality: bool = True
+    #: Opaque tag linking the grant back to a task (used by the AMs).
+    tag: Any = None
+
+    def locality_of(self, node_id: str, topology) -> Locality:
+        if not self.preferred_nodes:
+            return Locality.ANY
+        return topology.locality(node_id, self.preferred_nodes)
+
+
+@dataclass
+class NodeState:
+    """The RM's book-keeping for one NodeManager.
+
+    vcores may be *oversubscribed*: Hadoop 2.2's stock CapacityScheduler used
+    ``DefaultResourceCalculator``, which packs containers by memory only, so
+    a node's scheduled vcores can exceed its physical cores (the resulting
+    CPU contention is exactly the imbalance pathology the paper attacks).
+    Accounting therefore tracks raw integers; ``available`` floors at zero.
+    """
+
+    node_id: str
+    capability: ResourceVector
+    used_memory_mb: int = 0
+    used_vcores: int = 0
+    last_heartbeat: float = 0.0
+    #: False once the NodeManager is declared lost; no further allocations.
+    alive: bool = True
+
+    @property
+    def used(self) -> ResourceVector:
+        return ResourceVector(max(0, self.used_memory_mb), max(0, self.used_vcores))
+
+    @property
+    def available(self) -> ResourceVector:
+        return ResourceVector(
+            max(0, self.capability.memory_mb - self.used_memory_mb),
+            max(0, self.capability.vcores - self.used_vcores),
+        )
+
+    def can_fit(self, demand: ResourceVector, memory_only: bool = False) -> bool:
+        """Room check. ``memory_only=True`` is DefaultResourceCalculator."""
+        if not self.alive:
+            return False
+        avail = self.available
+        if memory_only:
+            return demand.memory_mb <= avail.memory_mb
+        return demand.fits_in(avail)
+
+    def allocate(self, demand: ResourceVector, memory_only: bool = False) -> None:
+        if not self.can_fit(demand, memory_only=memory_only):
+            raise ValueError(f"over-allocation on {self.node_id}: {demand} > {self.available}")
+        self.used_memory_mb += demand.memory_mb
+        self.used_vcores += demand.vcores
+
+    def release(self, amount: ResourceVector) -> None:
+        self.used_memory_mb -= amount.memory_mb
+        self.used_vcores -= amount.vcores
+
+
+_app_ids = itertools.count(1)
+_container_ids = itertools.count(1)
+
+
+def next_app_id(prefix: str = "app") -> str:
+    return f"{prefix}_{next(_app_ids):04d}"
+
+
+def next_container_id() -> int:
+    return next(_container_ids)
+
+
+@dataclass
+class Application:
+    """Handle for a submitted application (one MapReduce job)."""
+
+    app_id: str
+    name: str
+    am_resource: ResourceVector
+    #: ``runner(am_context)`` -> generator; the ApplicationMaster main.
+    runner: Callable[[Any], Any]
+    submit_time: float = 0.0
+    am_container: Optional[Container] = None
+    #: Fires when the AM starts executing (after launch), value = node_id.
+    am_started: Optional["Event"] = None
+    #: Fires when the application completes, value = the AM's result.
+    finished: Optional["Event"] = None
+    killed: bool = False
+
+    def __repr__(self) -> str:
+        return f"<Application {self.app_id} {self.name!r}>"

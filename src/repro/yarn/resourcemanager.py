@@ -1,0 +1,272 @@
+"""ResourceManager: application lifecycle, allocation plumbing, AM context.
+
+The RM is the hub the paper's Figures 2/3 revolve around:
+
+* stock path — AM asks are queued at CONTAINER_STATUS_UPDATE and served only
+  when some NM heartbeat (NODE_STATUS_UPDATE) reaches the scheduler; the AM
+  sees the grants on *its* next heartbeat (>= 2 heartbeats of latency);
+* D+ path — a scheduler with ``responds_immediately = True`` allocates from
+  the RM's live ClusterResource snapshot inside the same allocate() RPC.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from ..cluster.resources import ResourceVector
+from ..simulation.errors import Interrupt
+from ..simulation.monitor import EventLog
+from .records import Application, Container, ContainerRequest, NodeState, next_container_id
+from .scheduler import SchedulerBase
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.topology import Topology
+    from ..config import HadoopConfig
+    from ..simulation.core import Environment
+    from .nodemanager import NodeManager
+
+
+class ResourceManager:
+    def __init__(self, env: "Environment", topology: "Topology", scheduler: SchedulerBase,
+                 conf: "HadoopConfig", log: Optional[EventLog] = None) -> None:
+        self.env = env
+        self.topology = topology
+        self.scheduler = scheduler
+        self.conf = conf
+        self.log = log if log is not None else EventLog()
+        scheduler.bind(self)
+
+        self.nodes: dict[str, NodeState] = {}
+        for node in topology.nodes:
+            advertised = ResourceVector(
+                memory_mb=node.capability.memory_mb,
+                vcores=conf.effective_vcores(node.capability.vcores),
+            )
+            self.nodes[node.node_id] = NodeState(node.node_id, advertised)
+
+        self.node_managers: dict[str, "NodeManager"] = {}
+        self.apps: dict[str, Application] = {}
+        self._am_attempts: dict[str, int] = {}
+        #: Containers granted by the scheduler but not yet fetched by the AM.
+        self._ready: dict[str, list[Container]] = {}
+        #: Applications whose AM container is not allocated yet (FIFO).
+        self._am_queue: list[Application] = []
+        self._am_processes: dict[str, Any] = {}
+
+    # -- wiring ---------------------------------------------------------------
+    def register_node_manager(self, nm: "NodeManager") -> None:
+        self.node_managers[nm.node_id] = nm
+
+    def node_state(self, node_id: str) -> NodeState:
+        return self.nodes[node_id]
+
+    def total_capability(self) -> ResourceVector:
+        total = ResourceVector.zero()
+        for state in self.nodes.values():
+            total = total + state.capability
+        return total
+
+    def total_used(self) -> ResourceVector:
+        total = ResourceVector.zero()
+        for state in self.nodes.values():
+            total = total + state.used
+        return total
+
+    # -- application lifecycle ----------------------------------------------------
+    def submit_application(self, app: Application) -> Application:
+        """Queue ``app`` for AM allocation (stock Figure 1 steps 2-3)."""
+        if app.app_id in self.apps:
+            raise ValueError(f"duplicate application {app.app_id}")
+        app.submit_time = self.env.now
+        app.am_started = self.env.event()
+        app.finished = self.env.event()
+        self.apps[app.app_id] = app
+        self._ready[app.app_id] = []
+        self._am_attempts[app.app_id] = 1
+        self._am_queue.append(app)
+        self.log.mark(self.env.now, "app_submitted", app_id=app.app_id)
+        return app
+
+    def run_am_directly(self, app: Application, container: Container,
+                        launch_delay: Optional[float] = None) -> None:
+        """Start an AM in an already-granted container (AM-pool path)."""
+        if app.app_id not in self.apps:
+            app.submit_time = self.env.now
+            app.am_started = self.env.event()
+            app.finished = self.env.event()
+            self.apps[app.app_id] = app
+            self._ready[app.app_id] = []
+        app.am_container = container
+        self._launch_am(app, launch_delay=launch_delay)
+
+    def application_finished(self, app: Application, result: Any) -> None:
+        self.scheduler.remove_app(app.app_id)
+        self._ready.pop(app.app_id, None)
+        if app.finished is not None and not app.finished.triggered:
+            app.finished.succeed(result)
+        self.log.mark(self.env.now, "app_finished", app_id=app.app_id)
+
+    def kill_application(self, app: Application, cause: Any = "killed") -> None:
+        """Terminate an application: AM process interrupted, asks dropped."""
+        if app.killed or (app.finished is not None and app.finished.triggered):
+            return
+        app.killed = True
+        self.scheduler.remove_app(app.app_id)
+        self._ready.pop(app.app_id, None)
+        self._am_queue = [a for a in self._am_queue if a.app_id != app.app_id]
+        proc = self._am_processes.get(app.app_id)
+        if proc is not None and proc.is_alive:
+            proc.defuse()
+            proc.interrupt(cause)
+        if app.finished is not None and not app.finished.triggered:
+            app.finished.fail(JobKilled(app.app_id, cause))
+            app.finished.defuse()
+        self.log.mark(self.env.now, "app_killed", app_id=app.app_id)
+
+    # -- heartbeat entry points ------------------------------------------------------
+    def node_heartbeat(self, node_id: str) -> None:
+        """NODE_STATUS_UPDATE: serve queued AMs first, then task asks."""
+        node = self.nodes[node_id]
+        node.last_heartbeat = self.env.now
+
+        # AM allocation takes precedence (YARN allocates AMs like any other
+        # container but our FIFO keeps it simple and matches short-job runs).
+        # The resource calculator matches the installed scheduler's (stock
+        # Hadoop 2.2 = memory-only).
+        memory_only = getattr(self.scheduler, "memory_only", False)
+        for app in list(self._am_queue):
+            if node.can_fit(app.am_resource, memory_only=memory_only):
+                container = Container(next_container_id(), node_id, app.am_resource, app.app_id)
+                node.allocate(app.am_resource, memory_only=memory_only)
+                app.am_container = container
+                self._am_queue.remove(app)
+                self._launch_am(app)
+
+        for app_id, container in self.scheduler.on_node_heartbeat(node):
+            if app_id in self._ready:
+                self._ready[app_id].append(container)
+
+    def allocate(self, app_id: str, asks: list[ContainerRequest]) -> list[Container]:
+        """AM heartbeat: register asks, collect everything granted so far."""
+        if app_id not in self.apps:
+            raise KeyError(f"unknown application {app_id}")
+        grants = self.scheduler.on_allocate_request(app_id, asks)
+        ready = self._ready.get(app_id, [])
+        if ready:
+            self._ready[app_id] = []
+        return ready + grants
+
+    def node_lost(self, node_id: str) -> None:
+        """Mark a NodeManager dead: nothing further is scheduled there."""
+        node = self.nodes.get(node_id)
+        if node is not None:
+            node.alive = False
+        self.log.mark(self.env.now, "node_lost", node=node_id)
+
+    # -- container accounting ----------------------------------------------------------
+    def container_finished(self, container: Container) -> None:
+        node = self.nodes.get(container.node_id)
+        if node is not None:
+            node.release(container.resource)
+        self.scheduler.on_container_released(container)
+
+    # -- internals -----------------------------------------------------------------------
+    def _launch_am(self, app: Application, launch_delay: Optional[float] = None) -> None:
+        nm = self.node_managers[app.am_container.node_id]
+        ctx = AMContext(self, app, app.am_container)
+
+        def am_body() -> Generator:
+            if app.am_started is not None and not app.am_started.triggered:
+                app.am_started.succeed(app.am_container.node_id)
+            try:
+                result = yield from app.runner(ctx)
+            except Exception as exc:
+                self.scheduler.remove_app(app.app_id)
+                self._ready[app.app_id] = []
+                attempt = self._am_attempts.get(app.app_id, 1)
+                retriable = (
+                    not app.killed
+                    and isinstance(exc, Interrupt)  # AM's node died under it
+                    and attempt < self.conf.am_max_attempts
+                )
+                if retriable:
+                    # yarn.resourcemanager.am.max-attempts: relaunch the AM
+                    # from scratch (no work-preserving recovery, like a stock
+                    # Hadoop 2.2 job restart).
+                    self._am_attempts[app.app_id] = attempt + 1
+                    app.am_container = None
+                    self._am_queue.append(app)
+                    self.log.mark(self.env.now, "am_restarted",
+                                  app_id=app.app_id, attempt=attempt + 1)
+                    return None
+                # Terminal: surface the failure through app.finished so the
+                # client sees it; don't let the AM process itself become an
+                # unhandled event failure.
+                self._ready.pop(app.app_id, None)
+                if app.finished is not None and not app.finished.triggered:
+                    app.finished.fail(exc)
+                self.log.mark(self.env.now, "app_failed", app_id=app.app_id)
+                return None
+            self.application_finished(app, result)
+            return result
+
+        proc = nm.launch(app.am_container, am_body(), name=f"am-{app.app_id}",
+                         launch_delay=launch_delay)
+        self._am_processes[app.app_id] = proc
+        self.log.mark(self.env.now, "am_allocated", app_id=app.app_id,
+                      node=app.am_container.node_id)
+
+
+class JobKilled(Exception):
+    """Delivered through ``Application.finished`` when a job is killed."""
+
+    def __init__(self, app_id: str, cause: Any = None) -> None:
+        super().__init__(f"{app_id} killed ({cause})")
+        self.app_id = app_id
+        self.cause = cause
+
+
+class AMContext:
+    """Services an ApplicationMaster uses to talk to YARN.
+
+    One ``allocate()`` call == one AM->RM heartbeat exchange (two RPC
+    half-trips of latency). The AM implementations loop::
+
+        grants = yield from ctx.allocate(asks)
+        ...
+        yield from ctx.wait_heartbeat()
+    """
+
+    def __init__(self, rm: ResourceManager, app: Application, container: Container) -> None:
+        self.rm = rm
+        self.env = rm.env
+        self.app = app
+        self.container = container
+        self.node_id = container.node_id
+        self.conf = rm.conf
+        self.topology = rm.topology
+
+    def allocate(self, asks: list[ContainerRequest]) -> Generator:
+        yield self.env.timeout(self.conf.rpc_latency_s)
+        grants = self.rm.allocate(self.app.app_id, asks)
+        yield self.env.timeout(self.conf.rpc_latency_s)
+        return grants
+
+    def wait_heartbeat(self) -> Generator:
+        yield self.env.timeout(self.conf.am_heartbeat_s)
+
+    def start_container(self, container: Container, runnable: Generator,
+                        name: str = "task", launch_delay: Optional[float] = None):
+        """startContainers RPC to the NM; returns the container process."""
+        nm = self.rm.node_managers[container.node_id]
+        return nm.launch(container, runnable, name=name, launch_delay=launch_delay)
+
+    def release(self, container: Container) -> None:
+        self.rm.container_finished(container)
+
+    def node(self, node_id: str):
+        return self.rm.topology.node(node_id)
+
+    @property
+    def local_node(self):
+        return self.rm.topology.node(self.node_id)

@@ -1,0 +1,400 @@
+"""Tests for the functional MapReduce engine (real execution semantics)."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import (
+    Counters,
+    EngineJob,
+    LocalJobRunner,
+    PairInputFormat,
+    SpillBuffer,
+    TextInputFormat,
+    TotalOrderPartitioner,
+    hash_partitioner,
+    stable_hash,
+)
+from repro.engine.types import (
+    MAP_INPUT_RECORDS,
+    MAP_OUTPUT_RECORDS,
+    REDUCE_INPUT_GROUPS,
+    SPILLED_RECORDS,
+)
+
+
+def identity_job(num_reduces=1, **kw):
+    def mapper(k, v, ctx):
+        ctx.emit(k, v)
+
+    def reducer(k, values, ctx):
+        for v in values:
+            ctx.emit(k, v)
+
+    return EngineJob("identity", mapper, reducer, num_reduces=num_reduces, **kw)
+
+
+def sum_job(num_reduces=1, combiner=True):
+    def mapper(_k, v, ctx):
+        for token in v.split():
+            ctx.emit(token, 1)
+
+    def reducer(k, values, ctx):
+        ctx.emit(k, sum(values))
+
+    return EngineJob("sum", mapper, reducer,
+                     combiner=reducer if combiner else None,
+                     num_reduces=num_reduces)
+
+
+# -- input formats -----------------------------------------------------------
+
+def test_text_input_yields_offset_line_records():
+    (split,) = TextInputFormat.splits([("f", "hello\nworld\n")])
+    records = list(split)
+    assert records == [(0, "hello"), (6, "world")]
+    assert split.size_bytes == 12
+
+
+def test_text_input_skips_blank_lines():
+    (split,) = TextInputFormat.splits([("f", "a\n\n\nb")])
+    assert [line for _off, line in split] == ["a", "b"]
+
+
+def test_pair_input_round_trip():
+    (split,) = PairInputFormat.splits([("d", [(1, "x"), (2, "y")], 20)])
+    assert list(split) == [(1, "x"), (2, "y")]
+    assert list(split) == [(1, "x"), (2, "y")]  # re-iterable
+
+
+# -- partitioners ------------------------------------------------------------------
+
+def test_hash_partitioner_in_range_and_deterministic():
+    for key in ["a", "b", b"bytes", 42, ("t", 1)]:
+        p1 = hash_partitioner(key, 7)
+        p2 = hash_partitioner(key, 7)
+        assert p1 == p2
+        assert 0 <= p1 < 7
+
+
+def test_stable_hash_differs_from_builtin_salted_hash():
+    # Deterministic across runs: known value check.
+    assert stable_hash("word") == stable_hash("word")
+    assert stable_hash("word") != stable_hash("word2")
+
+
+def test_total_order_partitioner_ranges():
+    p = TotalOrderPartitioner([b"h", b"p"])
+    assert p.num_partitions == 3
+    assert p(b"a", 3) == 0
+    assert p(b"h", 3) == 1  # boundary goes right
+    assert p(b"m", 3) == 1
+    assert p(b"z", 3) == 2
+
+
+def test_total_order_partitioner_wrong_partition_count():
+    p = TotalOrderPartitioner([b"h"])
+    with pytest.raises(ValueError):
+        p(b"a", 5)
+
+
+def test_total_order_from_sample_balances():
+    keys = [bytes([i]) for i in range(100)]
+    p = TotalOrderPartitioner.from_sample(keys, 4)
+    counts = Counter(p(k, 4) for k in keys)
+    assert set(counts) == {0, 1, 2, 3}
+    assert max(counts.values()) <= 2 * min(counts.values())
+
+
+def test_total_order_single_partition():
+    p = TotalOrderPartitioner.from_sample([b"a", b"b"], 1)
+    assert p.num_partitions == 1
+    assert p(b"zzz", 1) == 0
+
+
+# -- spill buffer ---------------------------------------------------------------------
+
+def test_spill_buffer_sorts_output():
+    buf = SpillBuffer(1 << 20, None, lambda k: k, Counters())
+    for key in ["c", "a", "b"]:
+        buf.add(key, 1)
+    result = buf.finish()
+    assert [k for _sk, k, _v in result] == ["a", "b", "c"]
+
+
+def test_spill_buffer_spills_to_real_files(tmp_path):
+    counters = Counters()
+    buf = SpillBuffer(200, None, lambda k: k, counters, spill_dir=str(tmp_path))
+    for i in range(100):
+        buf.add(f"key{i:03d}", "v" * 10)
+    assert buf.spill_count > 0
+    assert len(list(tmp_path.iterdir())) == buf.spill_count
+    result = buf.finish()
+    assert [k for _sk, k, _v in result] == sorted(f"key{i:03d}" for i in range(100))
+    assert list(tmp_path.iterdir()) == []  # spill files cleaned up
+    assert counters.get(SPILLED_RECORDS) > 0
+
+
+def test_spill_buffer_combiner_collapses_duplicates():
+    counters = Counters()
+
+    def combine(k, values, ctx):
+        ctx.emit(k, sum(values))
+
+    buf = SpillBuffer(1 << 20, combine, lambda k: k, counters)
+    for _ in range(50):
+        buf.add("x", 1)
+    result = buf.finish()
+    assert result == [("x", "x", 50)]
+
+
+def test_spill_buffer_combiner_applied_across_spills(tmp_path):
+    def combine(k, values, ctx):
+        ctx.emit(k, sum(values))
+
+    buf = SpillBuffer(300, combine, lambda k: k, Counters(), spill_dir=str(tmp_path))
+    for _ in range(200):
+        buf.add("x", 1)
+    result = buf.finish()
+    assert result == [("x", "x", 200)]
+
+
+def test_spill_buffer_abort_cleans_files(tmp_path):
+    buf = SpillBuffer(100, None, lambda k: k, Counters(), spill_dir=str(tmp_path))
+    for i in range(50):
+        buf.add(f"k{i}", "v" * 20)
+    assert buf.spill_count > 0
+    buf.abort()
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_spill_buffer_rejects_zero_budget():
+    with pytest.raises(ValueError):
+        SpillBuffer(0, None, lambda k: k, Counters())
+
+
+# -- runner semantics ---------------------------------------------------------------------
+
+def test_sum_job_counts_words():
+    files = [("a", "x y x"), ("b", "y y z")]
+    out = LocalJobRunner().run(sum_job(), TextInputFormat.splits(files))
+    assert out.as_dict() == {"x": 2, "y": 3, "z": 1}
+
+
+def test_runner_counters():
+    files = [("a", "x y x"), ("b", "y y z")]
+    out = LocalJobRunner().run(sum_job(combiner=False), TextInputFormat.splits(files))
+    assert out.counters.get(MAP_INPUT_RECORDS) == 2     # two lines
+    assert out.counters.get(MAP_OUTPUT_RECORDS) == 6    # six tokens
+    assert out.counters.get(REDUCE_INPUT_GROUPS) == 3   # x, y, z
+
+
+def test_output_sorted_within_partition():
+    files = [("a", "pear apple mango kiwi")]
+    out = LocalJobRunner().run(sum_job(), TextInputFormat.splits(files))
+    keys = [k for k, _v in out.partitions[0]]
+    assert keys == sorted(keys)
+
+
+def test_multiple_reduce_partitions_cover_all_keys():
+    files = [("a", " ".join(f"w{i}" for i in range(50)))]
+    out = LocalJobRunner().run(sum_job(num_reduces=4), TextInputFormat.splits(files))
+    assert len(out.partitions) == 4
+    assert sum(len(p) for p in out.partitions) == 50
+    merged = out.as_dict()
+    assert all(merged[f"w{i}"] == 1 for i in range(50))
+
+
+def test_parallel_equals_serial():
+    files = [("f%d" % i, " ".join(f"w{j % 17}" for j in range(200))) for i in range(6)]
+    serial = LocalJobRunner(parallel_maps=1).run(sum_job(), TextInputFormat.splits(files))
+    parallel = LocalJobRunner(parallel_maps=4).run(sum_job(), TextInputFormat.splits(files))
+    assert serial.as_dict() == parallel.as_dict()
+
+
+def test_combiner_does_not_change_results():
+    files = [("a", " ".join(f"w{j % 5}" for j in range(100)))]
+    with_c = LocalJobRunner().run(sum_job(combiner=True), TextInputFormat.splits(files))
+    without = LocalJobRunner().run(sum_job(combiner=False), TextInputFormat.splits(files))
+    assert with_c.as_dict() == without.as_dict()
+    assert (with_c.counters.get(MAP_OUTPUT_RECORDS)
+            == without.counters.get(MAP_OUTPUT_RECORDS))
+
+
+def test_map_failure_propagates_and_cleans(tmp_path):
+    def bad_mapper(k, v, ctx):
+        raise RuntimeError("mapper exploded")
+
+    job = EngineJob("bad", bad_mapper, lambda k, vs, c: None)
+    runner = LocalJobRunner(spill_dir=str(tmp_path))
+    with pytest.raises(RuntimeError, match="mapper exploded"):
+        runner.run(job, TextInputFormat.splits([("a", "x")]))
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_map_failure_in_parallel_mode_propagates():
+    def bad_mapper(k, v, ctx):
+        if v == "boom":
+            raise ValueError("boom")
+        ctx.emit(v, 1)
+
+    job = EngineJob("bad", bad_mapper, lambda k, vs, c: None)
+    runner = LocalJobRunner(parallel_maps=3)
+    with pytest.raises(ValueError):
+        runner.run(job, TextInputFormat.splits([("a", "ok"), ("b", "boom"), ("c", "ok")]))
+
+
+def test_empty_input_produces_empty_output():
+    out = LocalJobRunner().run(sum_job(), [])
+    assert out.partitions == [[]]
+    assert out.as_dict() == {}
+
+
+def test_job_validation():
+    with pytest.raises(ValueError):
+        EngineJob("x", lambda *a: None, lambda *a: None, num_reduces=0)
+    with pytest.raises(ValueError):
+        LocalJobRunner(parallel_maps=0)
+
+
+# -- property-based: engine == reference, any data ------------------------------------------
+
+@given(st.lists(st.lists(st.sampled_from("abcdefg"), max_size=30).map(" ".join),
+                min_size=1, max_size=5),
+       st.integers(1, 4), st.integers(1, 3), st.booleans())
+@settings(max_examples=50, deadline=None)
+def test_property_wordcount_matches_reference(lines_per_file, num_reduces,
+                                              parallel, use_combiner):
+    files = [(f"f{i}", "\n".join([lines_per_file[i]]))
+             for i in range(len(lines_per_file))]
+    reference = Counter()
+    for _n, content in files:
+        reference.update(content.split())
+    out = LocalJobRunner(parallel_maps=parallel).run(
+        sum_job(num_reduces=num_reduces, combiner=use_combiner),
+        TextInputFormat.splits(files))
+    assert out.as_dict() == dict(reference)
+
+
+@given(st.lists(st.binary(min_size=1, max_size=8), min_size=1, max_size=60),
+       st.integers(1, 5))
+@settings(max_examples=50, deadline=None)
+def test_property_total_order_sort(keys, num_partitions):
+    """Identity job + total-order partitioner == a global sort."""
+    partitioner = TotalOrderPartitioner.from_sample(keys, num_partitions)
+    job = identity_job(num_reduces=partitioner.num_partitions,
+                       partitioner=partitioner)
+    splits = PairInputFormat.splits([("d", [(k, b"") for k in keys], len(keys) * 9)])
+    out = LocalJobRunner().run(job, splits)
+    flattened = [k for k, _v in out.results()]
+    assert flattened == sorted(keys)
+
+
+@given(st.integers(0, 500), st.integers(100, 1000))
+@settings(max_examples=30, deadline=None)
+def test_property_spill_buffer_never_loses_records(n_records, budget):
+    buf = SpillBuffer(budget, None, lambda k: k, Counters())
+    for i in range(n_records):
+        buf.add(i % 13, i)
+    result = buf.finish()
+    assert len(result) == n_records
+    assert [p[0] for p in result] == sorted(i % 13 for i in range(n_records))
+
+
+# -- file-backed output commit -------------------------------------------------------
+
+def test_write_and_read_text_output(tmp_path):
+    from repro.engine import read_text_output, write_text_output, is_committed
+
+    files = [("a", "x y x z")]
+    out = LocalJobRunner().run(sum_job(num_reduces=2), TextInputFormat.splits(files))
+    out_dir = str(tmp_path / "job-out")
+    parts = write_text_output(out, out_dir)
+    assert len(parts) == 2
+    assert is_committed(out_dir)
+    pairs = dict(read_text_output(out_dir))
+    assert pairs == {"x": "2", "y": "1", "z": "1"}
+
+
+def test_output_commit_refuses_overwrite(tmp_path):
+    from repro.engine import write_text_output
+
+    files = [("a", "x")]
+    out = LocalJobRunner().run(sum_job(), TextInputFormat.splits(files))
+    out_dir = str(tmp_path / "d")
+    write_text_output(out, out_dir)
+    with pytest.raises(FileExistsError):
+        write_text_output(out, out_dir)
+    write_text_output(out, out_dir, overwrite=True)  # explicit clobber ok
+
+
+def test_output_read_requires_success_marker(tmp_path):
+    from repro.engine import read_text_output
+
+    with pytest.raises(FileNotFoundError):
+        read_text_output(str(tmp_path))
+
+
+def test_output_no_temporary_leftovers(tmp_path):
+    from repro.engine import write_text_output
+    from repro.engine.output import TEMP_DIR
+    import os
+
+    files = [("a", "x y")]
+    out = LocalJobRunner().run(sum_job(), TextInputFormat.splits(files))
+    out_dir = str(tmp_path / "clean")
+    write_text_output(out, out_dir)
+    assert TEMP_DIR not in os.listdir(out_dir)
+
+
+def test_output_bytes_keys_round_trip(tmp_path):
+    from repro.engine import read_text_output, write_text_output
+
+    job = identity_job()
+    splits = PairInputFormat.splits([("d", [(b"k1", b"v1"), (b"k2", b"v2")], 16)])
+    out = LocalJobRunner().run(job, splits)
+    out_dir = str(tmp_path / "bytes")
+    write_text_output(out, out_dir)
+    pairs = read_text_output(out_dir)
+    assert ("k1", "v1") in pairs and ("k2", "v2") in pairs
+
+
+# -- robustness edge cases ----------------------------------------------------------
+
+def test_unicode_keys_and_values():
+    files = [("f", "héllo wörld héllo été")]
+    out = LocalJobRunner().run(sum_job(), TextInputFormat.splits(files))
+    assert out.as_dict()["héllo"] == 2
+
+
+def test_large_single_key_group():
+    files = [("f", " ".join(["same"] * 5000))]
+    out = LocalJobRunner(sort_buffer_bytes=2048).run(
+        sum_job(combiner=False), TextInputFormat.splits(files))
+    assert out.as_dict() == {"same": 5000}
+
+
+def test_combiner_with_tiny_buffer_heavy_spilling(tmp_path):
+    files = [("f", " ".join(f"w{i % 7}" for i in range(3000)))]
+    runner = LocalJobRunner(sort_buffer_bytes=512, spill_dir=str(tmp_path))
+    out = runner.run(sum_job(combiner=True), TextInputFormat.splits(files))
+    assert sum(out.as_dict().values()) == 3000
+    assert out.spill_files > 3
+    assert list(tmp_path.iterdir()) == []  # spills cleaned up
+
+
+def test_mixed_comparable_keys_sort():
+    job = identity_job()
+    splits = PairInputFormat.splits([("d", [(3, "c"), (1, "a"), (2, "b")], 24)])
+    out = LocalJobRunner().run(job, splits)
+    assert [k for k, _v in out.partitions[0]] == [1, 2, 3]
+
+
+def test_runner_map_times_recorded_per_split():
+    files = [(f"f{i}", "a b c") for i in range(3)]
+    out = LocalJobRunner().run(sum_job(), TextInputFormat.splits(files))
+    assert len(out.map_elapsed_s) == 3
+    assert all(t >= 0 for t in out.map_elapsed_s)
+    assert len(out.reduce_elapsed_s) == 1

@@ -1,0 +1,61 @@
+"""Regression guard: figure series must match committed snapshots exactly.
+
+The simulator is deterministic, so any change to these numbers is a *model*
+change, not noise. When a change is intentional (recalibration, new
+mechanism), regenerate the snapshot:
+
+    python - <<'PY'
+    import json
+    from repro.experiments.figures import figure7, figure10, figure12
+    snap = {}
+    for fn in (figure7, figure10, figure12):
+        fig = fn()
+        snap[fig.figure_id] = {
+            name: {"x": s.x, "y": [round(v, 6) for v in s.y]}
+            for name, s in fig.series.items()
+        }
+    json.dump(snap, open("tests/snapshots/figures.json", "w"),
+              indent=1, sort_keys=True)
+    PY
+
+and record the recalibration in EXPERIMENTS.md (regenerate it too).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.figures import figure7, figure10, figure12
+
+SNAPSHOT = os.path.join(os.path.dirname(__file__), "snapshots", "figures.json")
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    with open(SNAPSHOT) as f:
+        return json.load(f)
+
+
+@pytest.mark.parametrize("builder", [figure7, figure10, figure12],
+                         ids=["figure7", "figure10", "figure12"])
+def test_figure_series_match_snapshot(builder, snapshot):
+    fig = builder()
+    expected = snapshot[fig.figure_id]
+    assert set(fig.series) == set(expected), "series set changed"
+    for name, series in fig.series.items():
+        exp = expected[name]
+        assert [str(x) for x in series.x] == [str(x) for x in exp["x"]], \
+            f"{fig.figure_id}/{name}: x-axis changed"
+        for got, want in zip(series.y, exp["y"]):
+            assert got == pytest.approx(want, abs=1e-5), (
+                f"{fig.figure_id}/{name}: series drifted "
+                f"({got} != {want}); if intentional, regenerate the snapshot "
+                f"(see module docstring)")
+
+
+def test_snapshot_file_is_wellformed(snapshot):
+    assert set(snapshot) == {"Figure 7", "Figure 10", "Figure 12"}
+    for fig_data in snapshot.values():
+        for series in fig_data.values():
+            assert len(series["x"]) == len(series["y"]) > 0

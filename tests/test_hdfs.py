@@ -1,0 +1,258 @@
+"""Tests for the HDFS substrate: placement policy, splits, timed I/O."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterNetwork, Node, Topology
+from repro.hdfs import HdfsClient, HdfsError, NameNode, compute_splits, total_input_mb
+from repro.simulation import Environment
+
+
+def build(env, n=6, racks=2, block_size=64.0, replication=3, seed=7):
+    nodes = [Node(env, f"dn{i}", rack=f"rack{i % racks}", cores=4, memory_mb=7168)
+             for i in range(n)]
+    topo = Topology(nodes)
+    nn = NameNode(topo, block_size_mb=block_size, replication=replication, seed=seed)
+    net = ClusterNetwork(env, nodes, bandwidth_mb_s=100.0)
+    client = HdfsClient(env, nn, net, topo)
+    return topo, nn, net, client
+
+
+# -- namespace -----------------------------------------------------------------
+
+def test_create_and_lookup():
+    env = Environment()
+    _, nn, _, _ = build(env)
+    nn.create_file("/data/a", 10.0)
+    assert nn.exists("/data/a")
+    assert nn.get_file("/data/a").size_mb == pytest.approx(10.0)
+
+
+def test_duplicate_create_rejected():
+    env = Environment()
+    _, nn, _, _ = build(env)
+    nn.create_file("/x", 1.0)
+    with pytest.raises(HdfsError):
+        nn.create_file("/x", 1.0)
+
+
+def test_missing_file_raises():
+    env = Environment()
+    _, nn, _, _ = build(env)
+    with pytest.raises(HdfsError):
+        nn.get_file("/nope")
+    with pytest.raises(HdfsError):
+        nn.delete("/nope")
+
+
+def test_delete_removes():
+    env = Environment()
+    _, nn, _, _ = build(env)
+    nn.create_file("/x", 1.0)
+    nn.delete("/x")
+    assert not nn.exists("/x")
+
+
+def test_file_split_into_blocks():
+    env = Environment()
+    _, nn, _, _ = build(env, block_size=64.0)
+    f = nn.create_file("/big", 150.0)
+    assert [b.size_mb for b in f.blocks] == [64.0, 64.0, 22.0]
+
+
+def test_empty_file_has_one_empty_block():
+    env = Environment()
+    _, nn, _, _ = build(env)
+    f = nn.create_file("/empty", 0.0)
+    assert len(f.blocks) == 1 and f.blocks[0].size_mb == 0.0
+
+
+# -- placement policy ---------------------------------------------------------
+
+def test_first_replica_on_writer():
+    env = Environment()
+    _, nn, _, _ = build(env)
+    f = nn.create_file("/x", 10.0, writer_node="dn3")
+    assert f.blocks[0].replicas[0] == "dn3"
+
+
+def test_second_replica_on_remote_rack():
+    env = Environment()
+    topo, nn, _, _ = build(env, n=6, racks=2)
+    f = nn.create_file("/x", 10.0, writer_node="dn0")
+    first, second = f.blocks[0].replicas[0], f.blocks[0].replicas[1]
+    assert topo.rack_of(first) != topo.rack_of(second)
+
+
+def test_third_replica_same_rack_as_second_different_node():
+    env = Environment()
+    topo, nn, _, _ = build(env, n=6, racks=2)
+    f = nn.create_file("/x", 10.0, writer_node="dn0")
+    _, second, third = f.blocks[0].replicas
+    assert second != third
+    assert topo.rack_of(second) == topo.rack_of(third)
+
+
+def test_replicas_distinct():
+    env = Environment()
+    _, nn, _, _ = build(env, n=6)
+    f = nn.create_file("/x", 10.0, writer_node="dn1")
+    reps = f.blocks[0].replicas
+    assert len(set(reps)) == len(reps) == 3
+
+
+def test_replication_capped_by_cluster_size():
+    env = Environment()
+    _, nn, _, _ = build(env, n=2, racks=2, replication=3)
+    f = nn.create_file("/x", 10.0)
+    assert len(f.blocks[0].replicas) == 2
+
+
+def test_single_rack_placement_still_spreads():
+    env = Environment()
+    _, nn, _, _ = build(env, n=4, racks=1)
+    f = nn.create_file("/x", 10.0, writer_node="dn0")
+    reps = f.blocks[0].replicas
+    assert len(set(reps)) == 3 and reps[0] == "dn0"
+
+
+@given(st.integers(0, 2**31), st.integers(3, 10), st.integers(1, 3))
+@settings(max_examples=40, deadline=None)
+def test_property_placement_valid_for_any_seed(seed, n, racks):
+    env = Environment()
+    racks = min(racks, n)
+    _, nn, _, _ = build(env, n=n, racks=racks, seed=seed)
+    f = nn.create_file("/f", 100.0, writer_node="dn0")
+    for block in f.blocks:
+        assert 1 <= len(block.replicas) <= 3
+        assert len(set(block.replicas)) == len(block.replicas)
+        assert block.replicas[0] == "dn0"
+
+
+def test_blocks_on_node_inverse_index():
+    env = Environment()
+    _, nn, _, _ = build(env)
+    nn.create_file("/x", 10.0, writer_node="dn2")
+    assert any(b.path == "/x" for b in nn.blocks_on_node("dn2"))
+
+
+# -- splits ----------------------------------------------------------------------
+
+def test_one_split_per_block():
+    env = Environment()
+    _, nn, _, _ = build(env, block_size=64.0)
+    nn.create_file("/a", 100.0)
+    nn.create_file("/b", 10.0)
+    splits = compute_splits(nn, ["/a", "/b"])
+    assert len(splits) == 3
+    assert total_input_mb(splits) == pytest.approx(110.0)
+
+
+def test_split_hosts_match_block_replicas():
+    env = Environment()
+    _, nn, _, _ = build(env)
+    f = nn.create_file("/a", 10.0)
+    (split,) = compute_splits(nn, ["/a"])
+    assert split.hosts == tuple(f.blocks[0].replicas)
+    assert split.length_mb == pytest.approx(10.0)
+
+
+def test_splits_are_offset_ordered():
+    env = Environment()
+    _, nn, _, _ = build(env, block_size=64.0)
+    nn.create_file("/a", 200.0)
+    splits = compute_splits(nn, ["/a"])
+    offsets = [s.offset_mb for s in splits]
+    assert offsets == sorted(offsets)
+
+
+# -- timed I/O ---------------------------------------------------------------------
+
+def test_local_read_costs_only_disk():
+    env = Environment()
+    topo, nn, net, client = build(env)
+    f = nn.create_file("/x", 50.0, writer_node="dn0")
+
+    def reader(env):
+        source = yield from client.read_block(f.blocks[0], "dn0")
+        return source
+
+    p = env.process(reader(env))
+    env.run()
+    assert p.value == "dn0"
+    assert env.now == pytest.approx(50.0 / 100.0)  # disk read at 100 MB/s
+
+
+def test_remote_read_pays_network():
+    env = Environment()
+    topo, nn, net, client = build(env, n=2, racks=2, replication=1)
+    f = nn.create_file("/x", 50.0, writer_node="dn0")
+
+    def reader(env):
+        source = yield from client.read_block(f.blocks[0], "dn1")
+        return source
+
+    p = env.process(reader(env))
+    env.run()
+    assert p.value == "dn0"
+    # disk 0.5s || network 0.5s, pipelined -> 0.5s
+    assert env.now == pytest.approx(0.5)
+
+
+def test_read_prefers_closest_replica():
+    env = Environment()
+    topo, nn, net, client = build(env, n=6, racks=2)
+    f = nn.create_file("/x", 10.0, writer_node="dn0")
+    reps = f.blocks[0].replicas
+
+    def reader(env):
+        source = yield from client.read_block(f.blocks[0], reps[2])
+        return source
+
+    p = env.process(reader(env))
+    env.run()
+    assert p.value == reps[2]  # node-local wins
+
+
+def test_write_file_persists_metadata_and_takes_time():
+    env = Environment()
+    topo, nn, net, client = build(env)
+
+    def writer(env):
+        file = yield from client.write_file("/out", 40.0, "dn0")
+        return file
+
+    p = env.process(writer(env))
+    env.run()
+    assert nn.exists("/out")
+    assert env.now > 0.0
+    assert p.value.size_mb == pytest.approx(40.0)
+
+
+def test_zero_byte_read_is_instant():
+    env = Environment()
+    topo, nn, net, client = build(env)
+    f = nn.create_file("/z", 0.0, writer_node="dn0")
+
+    def reader(env):
+        yield from client.read_block(f.blocks[0], "dn1")
+
+    env.process(reader(env))
+    env.run()
+    assert env.now == 0.0
+
+
+def test_read_whole_file_sequential():
+    env = Environment()
+    topo, nn, net, client = build(env, block_size=10.0)
+    nn.create_file("/f", 30.0, writer_node="dn0")
+
+    def reader(env):
+        sources = yield from client.read_file("/f", "dn0")
+        return sources
+
+    p = env.process(reader(env))
+    env.run()
+    assert len(p.value) == 3
+    assert env.now == pytest.approx(0.3)  # 3 x 10MB local reads at 100 MB/s

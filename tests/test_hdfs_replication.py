@@ -1,0 +1,137 @@
+"""Tests for DataNode daemons and re-replication after node loss."""
+
+import pytest
+
+from repro.cluster import ClusterNetwork, Node, Topology
+from repro.hdfs import DataNodeDaemon, NameNode, ReplicationManager
+from repro.simulation import Environment
+
+
+def build(env, n=6, racks=2, replication=3, seed=7):
+    nodes = [Node(env, f"dn{i}", rack=f"rack{i % racks}", cores=4, memory_mb=7168)
+             for i in range(n)]
+    topo = Topology(nodes)
+    nn = NameNode(topo, block_size_mb=64.0, replication=replication, seed=seed)
+    net = ClusterNetwork(env, nodes, bandwidth_mb_s=100.0)
+    return topo, nn, net
+
+
+# -- DataNodeDaemon ------------------------------------------------------------
+
+def test_daemon_reports_periodically():
+    env = Environment()
+    _topo, nn, _net = build(env)
+    daemon = DataNodeDaemon(env, "dn0", nn, report_interval_s=2.0,
+                            start_reporting=True)
+    env.run(until=7.0)
+    assert daemon.last_report >= 6.0
+    with pytest.raises(RuntimeError):
+        daemon.start_reporting()
+
+
+def test_daemon_stops_reporting_after_failure():
+    env = Environment()
+    _topo, nn, _net = build(env)
+    daemon = DataNodeDaemon(env, "dn0", nn, report_interval_s=1.0,
+                            start_reporting=True)
+    env.run(until=2.5)
+    daemon.fail()
+    stamp = daemon.last_report
+    env.run(until=10.0)
+    assert daemon.last_report == stamp
+    daemon.fail()  # idempotent
+
+
+def test_daemon_block_inventory():
+    env = Environment()
+    _topo, nn, _net = build(env)
+    nn.create_file("/x", 30.0, writer_node="dn1")
+    daemon = DataNodeDaemon(env, "dn1", nn)
+    assert daemon.used_mb() == pytest.approx(30.0)
+    assert len(daemon.blocks()) == 1
+
+
+# -- ReplicationManager ----------------------------------------------------------
+
+def test_rereplication_restores_factor():
+    env = Environment()
+    topo, nn, net = build(env)
+    file = nn.create_file("/data", 40.0, writer_node="dn0")
+    manager = ReplicationManager(env, nn, net, topo)
+    victim = file.blocks[0].replicas[0]
+
+    proc = manager.handle_datanode_loss(victim)
+    env.run(until=proc)
+    block = file.blocks[0]
+    assert victim not in block.replicas
+    assert len(block.replicas) == 3            # back to 3 replicas
+    assert manager.replications_done           # real copy happened
+    assert env.now > 0                          # and took simulated time
+
+
+def test_rereplication_prefers_uncovered_rack():
+    env = Environment()
+    topo, nn, net = build(env, n=6, racks=3)
+    file = nn.create_file("/data", 10.0, writer_node="dn0")
+    block = file.blocks[0]
+    manager = ReplicationManager(env, nn, net, topo)
+    victim = block.replicas[1]
+    proc = manager.handle_datanode_loss(victim)
+    env.run(until=proc)
+    racks = {topo.rack_of(r) for r in block.replicas}
+    assert len(racks) >= 2  # spread maintained
+
+
+def test_rereplication_skips_unaffected_blocks():
+    env = Environment()
+    topo, nn, net = build(env)
+    f1 = nn.create_file("/a", 10.0, writer_node="dn0")
+    manager = ReplicationManager(env, nn, net, topo)
+    # Pick a node hosting nothing of /a.
+    unaffected = next(n for n in topo.node_ids
+                      if n not in f1.blocks[0].replicas)
+    proc = manager.handle_datanode_loss(unaffected)
+    env.run(until=proc)
+    assert proc.value == 0
+    assert len(f1.blocks[0].replicas) == 3
+
+
+def test_block_lost_when_all_replicas_die():
+    env = Environment()
+    topo, nn, net = build(env, n=3, racks=1, replication=1)
+    file = nn.create_file("/single", 5.0, writer_node="dn0")
+    manager = ReplicationManager(env, nn, net, topo)
+    proc = manager.handle_datanode_loss("dn0")
+    env.run(until=proc)
+    assert file.blocks[0].block_id in manager.lost_blocks
+    assert file.blocks[0].replicas == []
+
+
+def test_rereplication_avoids_dead_nodes():
+    env = Environment()
+    topo, nn, net = build(env, n=4, racks=2)
+    file = nn.create_file("/d", 10.0, writer_node="dn0")
+    manager = ReplicationManager(env, nn, net, topo)
+    block = file.blocks[0]
+    # Kill two of the three replica holders in sequence.
+    first, second = block.replicas[0], block.replicas[1]
+    p1 = manager.handle_datanode_loss(first)
+    env.run(until=p1)
+    p2 = manager.handle_datanode_loss(second)
+    env.run(until=p2)
+    assert first not in block.replicas and second not in block.replicas
+    assert all(r not in manager.dead_nodes for r in block.replicas)
+    assert len(block.replicas) >= 2
+
+
+def test_multi_block_file_rereplication():
+    env = Environment()
+    topo, nn, net = build(env)
+    file = nn.create_file("/big", 200.0, writer_node="dn2")  # 4 blocks
+    manager = ReplicationManager(env, nn, net, topo)
+    proc = manager.handle_datanode_loss("dn2")
+    env.run(until=proc)
+    for block in file.blocks:
+        if block.size_mb > 0:
+            assert "dn2" not in block.replicas
+            assert len(block.replicas) == 3

@@ -1,0 +1,65 @@
+"""Tests for repartition (reduce-side) and broadcast (map-side) joins."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    broadcast_join,
+    flatten,
+    generate_tables,
+    reference_join,
+    repartition_join,
+)
+
+
+def test_repartition_join_matches_oracle():
+    users, orders = generate_tables(num_users=30, orders_per_user=4, seed=2)
+    out = repartition_join(users, orders, num_reduces=3, parallel_maps=2)
+    assert flatten(out) == reference_join(users, orders)
+
+
+def test_broadcast_join_matches_repartition():
+    users, orders = generate_tables(num_users=25, orders_per_user=3, seed=5)
+    reduce_side = flatten(repartition_join(users, orders))
+    map_side = flatten(broadcast_join(users, orders, parallel_maps=2))
+    assert map_side == reduce_side
+
+
+def test_dangling_orders_dropped():
+    users = [("u", "U\tu00001\tname-u00001")]
+    orders = [("o", "O\tu00001\to1\t10.0\nO\tghost\to2\t20.0")]
+    out = flatten(repartition_join(users, orders))
+    assert out == {("u00001", "o1", 10.0, "name-u00001")}
+
+
+def test_user_without_orders_produces_nothing():
+    users = [("u", "U\tu1\talice\nU\tu2\tbob")]
+    orders = [("o", "O\tu1\to1\t5.5")]
+    out = flatten(repartition_join(users, orders))
+    assert out == {("u1", "o1", 5.5, "alice")}
+
+
+def test_join_output_carries_names():
+    users, orders = generate_tables(num_users=5, orders_per_user=2, seed=7)
+    for user, _oid, _amount, name in flatten(repartition_join(users, orders)):
+        assert name == f"name-{user}"
+
+
+def test_generate_tables_shape():
+    users, orders = generate_tables(num_users=10, orders_per_user=2,
+                                    num_files=3)
+    assert len(users) == 3 and len(orders) == 3
+    user_lines = [l for _n, c in users for l in c.split("\n") if l]
+    assert len(user_lines) == 10
+    assert all(l.startswith("U\t") for l in user_lines)
+
+
+@given(st.integers(1, 30), st.floats(0.0, 5.0), st.integers(0, 500),
+       st.integers(1, 4))
+@settings(max_examples=20, deadline=None)
+def test_property_joins_agree_with_oracle(n_users, per_user, seed, reducers):
+    users, orders = generate_tables(n_users, per_user, seed=seed)
+    oracle = reference_join(users, orders)
+    assert flatten(repartition_join(users, orders, num_reduces=reducers)) == oracle
+    assert flatten(broadcast_join(users, orders)) == oracle

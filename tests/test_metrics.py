@@ -1,0 +1,81 @@
+"""Tests for the cluster utilization monitor."""
+
+import pytest
+
+from repro.config import a3_cluster
+from repro.core import build_mrapid_cluster, build_stock_cluster, run_short_job, run_stock_job
+from repro.mapreduce import SimJobSpec
+from repro.metrics import ClusterMonitor
+from repro.workloads import WORDCOUNT_PROFILE
+
+
+def wc_spec(cluster, n=8, mb=10.0):
+    paths = cluster.load_input_files("/wc", n, mb)
+    return SimJobSpec("wordcount", tuple(paths), WORDCOUNT_PROFILE)
+
+
+def test_monitor_validation():
+    cluster = build_stock_cluster(a3_cluster(2))
+    with pytest.raises(ValueError):
+        ClusterMonitor(cluster, interval_s=0)
+
+
+def test_monitor_samples_cpu_during_job():
+    cluster = build_stock_cluster(a3_cluster(4))
+    monitor = ClusterMonitor(cluster, interval_s=0.5)
+    monitor.start()
+    run_stock_job(cluster, wc_spec(cluster), "distributed")
+    monitor.stop()
+    cpu = monitor.series("cpu:cluster")
+    assert cpu.max() > 0.1            # maps actually burned CPU
+    assert len(cpu) > 10
+
+
+def test_monitor_double_start_rejected():
+    cluster = build_stock_cluster(a3_cluster(2))
+    monitor = ClusterMonitor(cluster)
+    monitor.start()
+    with pytest.raises(RuntimeError):
+        monitor.start()
+    monitor.stop()
+
+
+def test_imbalance_higher_for_stock_packing_than_dplus():
+    """The paper's Figure-2 pathology, made measurable: greedy packing
+    concentrates CPU on one node; D+ spreads it."""
+    stock = build_stock_cluster(a3_cluster(4))
+    sm = ClusterMonitor(stock, interval_s=0.5)
+    sm.start()
+    run_stock_job(stock, wc_spec(stock), "distributed")
+    sm.stop()
+
+    mrapid = build_mrapid_cluster(a3_cluster(4))
+    mm = ClusterMonitor(mrapid, interval_s=0.5)
+    mm.start()
+    run_short_job(mrapid, wc_spec(mrapid), "dplus")
+    mm.stop()
+
+    stock_summary = sm.summary()
+    dplus_summary = mm.summary()
+    assert stock_summary.cpu_imbalance_index > dplus_summary.cpu_imbalance_index
+
+
+def test_summary_stringifies():
+    cluster = build_stock_cluster(a3_cluster(2))
+    monitor = ClusterMonitor(cluster, interval_s=0.5)
+    monitor.start()
+    run_stock_job(cluster, wc_spec(cluster, 2), "uber")
+    monitor.stop()
+    text = str(monitor.summary())
+    assert "cpu mean" in text and "imbalance" in text
+
+
+def test_per_node_series_recorded():
+    cluster = build_stock_cluster(a3_cluster(3))
+    monitor = ClusterMonitor(cluster, interval_s=0.5)
+    monitor.start()
+    run_stock_job(cluster, wc_spec(cluster, 3), "distributed")
+    monitor.stop()
+    for node in cluster.datanodes:
+        assert len(monitor.series(f"cpu:{node.node_id}")) > 0
+        assert len(monitor.series(f"disk_ops:{node.node_id}")) > 0

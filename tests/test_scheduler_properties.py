@@ -1,0 +1,156 @@
+"""Property-based invariants of the schedulers and the flow network."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterNetwork, Node, ResourceVector, Topology
+from repro.config import ClusterSpec, INSTANCE_TYPES
+from repro.core.dplus import DPlusScheduler
+from repro.simcluster import SimCluster
+from repro.simulation import Environment
+from repro.yarn import Application, CapacityScheduler, ContainerRequest
+
+
+def mk_cluster(n_nodes, scheduler, instance="A3"):
+    spec = ClusterSpec(INSTANCE_TYPES[instance], n_nodes,
+                       racks=min(2, n_nodes), name="t")
+    return SimCluster(spec, scheduler=scheduler)
+
+
+def register(cluster, app_id="x"):
+    cluster.rm.apps[app_id] = Application(app_id, app_id, ResourceVector(1, 1),
+                                          lambda ctx: iter(()))
+    cluster.rm._ready[app_id] = []
+    return app_id
+
+
+# -- D+ invariants --------------------------------------------------------------
+
+@given(st.integers(1, 24), st.integers(1, 8), st.integers(0, 100))
+@settings(max_examples=40, deadline=None)
+def test_property_dplus_never_overallocates(n_asks, n_nodes, seed):
+    cluster = mk_cluster(n_nodes, DPlusScheduler())
+    app_id = register(cluster)
+    asks = [ContainerRequest(ResourceVector(1024, 1)) for _ in range(n_asks)]
+    grants = cluster.rm.allocate(app_id, asks)
+    # Every node's booked resources stay within its advertised capability.
+    for state in cluster.rm.nodes.values():
+        assert state.used_memory_mb <= state.capability.memory_mb
+        assert state.used_vcores <= state.capability.vcores
+    # Grants never exceed asks, and each grant is on a real node.
+    assert len(grants) <= n_asks
+    assert all(g.node_id in cluster.rm.nodes for g in grants)
+
+
+@given(st.integers(1, 16), st.integers(2, 8))
+@settings(max_examples=40, deadline=None)
+def test_property_dplus_spread_is_balanced(n_asks, n_nodes):
+    """Balanced mode: max/min container counts differ by at most 1 while
+    capacity allows (the round-robin invariant)."""
+    cluster = mk_cluster(n_nodes, DPlusScheduler())
+    app_id = register(cluster)
+    asks = [ContainerRequest(ResourceVector(1024, 1)) for _ in range(n_asks)]
+    grants = cluster.rm.allocate(app_id, asks)
+    if len(grants) == n_asks:  # cluster had room for everything
+        counts = {n: 0 for n in cluster.rm.nodes}
+        for g in grants:
+            counts[g.node_id] += 1
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+
+@given(st.integers(1, 12))
+@settings(max_examples=30, deadline=None)
+def test_property_dplus_deterministic(n_asks):
+    def run_once():
+        cluster = mk_cluster(4, DPlusScheduler())
+        app_id = register(cluster)
+        asks = [ContainerRequest(ResourceVector(1024, 1), preferred_nodes=("dn1",))
+                for _ in range(n_asks)]
+        return [g.node_id for g in cluster.rm.allocate(app_id, asks)]
+
+    assert run_once() == run_once()
+
+
+@given(st.integers(1, 10))
+@settings(max_examples=30, deadline=None)
+def test_property_dplus_honors_node_local_preference_when_possible(n_asks):
+    cluster = mk_cluster(4, DPlusScheduler())
+    app_id = register(cluster)
+    asks = [ContainerRequest(ResourceVector(1024, 1), preferred_nodes=("dn2",))
+            for _ in range(n_asks)]
+    grants = cluster.rm.allocate(app_id, asks)
+    # Up to dn2's vcore capacity, everything lands node-local.
+    local = sum(1 for g in grants if g.node_id == "dn2")
+    capacity = cluster.rm.nodes["dn2"].capability.vcores
+    assert local == min(n_asks, capacity)
+
+
+# -- stock scheduler invariants -------------------------------------------------------
+
+@given(st.integers(1, 30), st.integers(1, 6))
+@settings(max_examples=40, deadline=None)
+def test_property_stock_grants_conserved(n_asks, n_nodes):
+    """Each ask is granted at most once, eventually all are if space exists."""
+    cluster = mk_cluster(n_nodes, CapacityScheduler())
+    app_id = register(cluster)
+    asks = [ContainerRequest(ResourceVector(1024, 1)) for _ in range(n_asks)]
+    cluster.rm.allocate(app_id, asks)
+    cluster.env.run(until=2.0)
+    grants = cluster.rm.allocate(app_id, [])
+    total_memory = sum(s.capability.memory_mb for s in cluster.rm.nodes.values())
+    expected = min(n_asks, total_memory // 1024)
+    assert len(grants) == expected
+    # Memory is never oversubscribed even by the memory-only calculator.
+    for state in cluster.rm.nodes.values():
+        assert state.used_memory_mb <= state.capability.memory_mb
+
+
+@given(st.integers(2, 20))
+@settings(max_examples=30, deadline=None)
+def test_property_stock_packs_first_node_to_memory_limit(n_asks):
+    cluster = mk_cluster(4, CapacityScheduler())
+    app_id = register(cluster)
+    asks = [ContainerRequest(ResourceVector(1024, 1)) for _ in range(n_asks)]
+    cluster.rm.allocate(app_id, asks)
+    cluster.env.run(until=2.0)
+    grants = cluster.rm.allocate(app_id, [])
+    counts = {}
+    for g in grants:
+        counts[g.node_id] = counts.get(g.node_id, 0) + 1
+    if counts:
+        per_node_cap = 7168 // 1024
+        assert max(counts.values()) == min(n_asks, per_node_cap)
+
+
+# -- network max-min properties -----------------------------------------------------
+
+@given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3),
+                          st.floats(1.0, 50.0)), min_size=1, max_size=6))
+@settings(max_examples=40, deadline=None)
+def test_property_network_all_transfers_complete(pairs):
+    env = Environment()
+    nodes = [Node(env, f"n{i}", rack=f"r{i % 2}", cores=4, memory_mb=4096)
+             for i in range(4)]
+    net = ClusterNetwork(env, nodes, bandwidth_mb_s=50.0)
+    flows = [net.transfer(f"n{a}", f"n{b}", mb) for a, b, mb in pairs]
+    env.run()
+    for flow, (a, b, mb) in zip(flows, pairs):
+        assert flow.done.triggered and flow.done.ok
+        if a != b:
+            assert flow.done.value >= mb / 50.0 - 1e-6  # no faster than NIC
+
+
+@given(st.integers(1, 6), st.floats(5.0, 40.0))
+@settings(max_examples=30, deadline=None)
+def test_property_incast_fairness(n_senders, mb):
+    """n equal senders into one receiver all finish together."""
+    env = Environment()
+    nodes = [Node(env, f"n{i}", rack="r0", cores=4, memory_mb=4096)
+             for i in range(n_senders + 1)]
+    net = ClusterNetwork(env, nodes, bandwidth_mb_s=60.0)
+    flows = [net.transfer(f"n{i}", f"n{n_senders}", mb) for i in range(n_senders)]
+    env.run()
+    finish = {round(f.done.value, 6) for f in flows}
+    assert len(finish) == 1
+    assert flows[0].done.value == pytest.approx(n_senders * mb / 60.0)

@@ -1,0 +1,145 @@
+"""Tests for secondary sort (grouping comparator), sessionization, wordstats."""
+
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import EngineJob, LocalJobRunner, PairInputFormat
+from repro.engine.sortspill import merge_grouped_streams
+from repro.workloads import (
+    generate_clicks,
+    generate_files,
+    reference_sessionize,
+    reference_word_lengths,
+    sessionize,
+    word_length_histogram,
+    word_mean,
+    word_median,
+    word_stddev,
+)
+
+
+# -- merge_grouped_streams -------------------------------------------------------
+
+def test_grouped_merge_basic():
+    stream = [((u, t), (u, t), f"v{u}{t}")
+              for u, t in [("a", 1), ("a", 2), ("b", 1)]]
+    groups = list(merge_grouped_streams([stream], grouping_key=lambda k: k[0]))
+    assert [g[0] for g in groups] == ["a", "b"]
+    assert groups[0][2] == [(("a", 1), "va1"), (("a", 2), "va2")]
+
+
+def test_grouped_merge_across_streams_keeps_sort_order():
+    s1 = [((("u", 3)), ("u", 3), "late")]
+    s2 = [((("u", 1)), ("u", 1), "early")]
+    groups = list(merge_grouped_streams([s1, s2], grouping_key=lambda k: k[0]))
+    (group,) = groups
+    assert [v for _k, v in group[2]] == ["early", "late"]
+
+
+def test_grouped_merge_empty():
+    assert list(merge_grouped_streams([[]], grouping_key=lambda k: k)) == []
+
+
+# -- secondary sort through the full engine ----------------------------------------
+
+def test_engine_secondary_sort_orders_values_within_group():
+    events = [(("u1", t), t) for t in (5.0, 1.0, 3.0)] + [(("u2", 9.0), 9.0)]
+
+    seen = {}
+
+    def reducer(first_key, pairs, ctx):
+        user = first_key[0]
+        seen[user] = [stamp for (_u, stamp), _v in pairs]
+        ctx.emit(user, len(seen[user]))
+
+    job = EngineJob("ss", lambda k, v, c: c.emit(k, v), reducer,
+                    grouping_key=lambda k: k[0],
+                    partitioner=lambda k, n: 0)
+    splits = PairInputFormat.splits([("d", events, 64)])
+    LocalJobRunner().run(job, splits)
+    assert seen["u1"] == [1.0, 3.0, 5.0]    # timestamp order, not input order
+    assert seen["u2"] == [9.0]
+
+
+def test_reduce_input_groups_counted_by_group():
+    from repro.engine.types import REDUCE_INPUT_GROUPS
+
+    events = [(("a", i), i) for i in range(5)] + [(("b", i), i) for i in range(3)]
+    job = EngineJob("ss", lambda k, v, c: c.emit(k, v),
+                    lambda k, pairs, c: c.emit(k[0], sum(1 for _ in pairs)),
+                    grouping_key=lambda k: k[0],
+                    partitioner=lambda k, n: 0)
+    out = LocalJobRunner().run(job, PairInputFormat.splits([("d", events, 64)]))
+    assert out.counters.get(REDUCE_INPUT_GROUPS) == 2
+
+
+# -- sessionization ------------------------------------------------------------------
+
+def test_sessionize_matches_reference():
+    files = generate_clicks(num_users=20, clicks_per_user=15, seed=8)
+    out = sessionize(files, gap_s=300.0, parallel_maps=2)
+    assert out.as_dict() == reference_sessionize(files, gap_s=300.0)
+
+
+def test_sessionize_multi_reducer_consistent():
+    files = generate_clicks(num_users=12, clicks_per_user=10, seed=3)
+    one = sessionize(files, gap_s=600.0, num_reduces=1)
+    four = sessionize(files, gap_s=600.0, num_reduces=4)
+    assert one.as_dict() == four.as_dict()
+
+
+def test_sessionize_gap_monotonicity():
+    """A larger session gap can only merge sessions, never split them."""
+    files = generate_clicks(num_users=10, clicks_per_user=20, seed=6)
+    tight = sessionize(files, gap_s=60.0).as_dict()
+    loose = sessionize(files, gap_s=3600.0).as_dict()
+    for user in tight:
+        assert loose[user] <= tight[user]
+
+
+def test_generate_clicks_shape():
+    files = generate_clicks(num_users=5, clicks_per_user=4, num_files=3)
+    assert len(files) == 3
+    lines = [l for _n, c in files for l in c.split("\n") if l]
+    assert len(lines) == 20
+    user, stamp, url = lines[0].split("\t")
+    assert user.startswith("user") and float(stamp) >= 0 and url.startswith("/")
+
+
+@given(st.integers(1, 15), st.integers(1, 12), st.integers(0, 1000))
+@settings(max_examples=20, deadline=None)
+def test_property_sessionize_equals_oracle(users, clicks, seed):
+    files = generate_clicks(num_users=users, clicks_per_user=clicks, seed=seed)
+    out = sessionize(files, gap_s=240.0)
+    assert out.as_dict() == reference_sessionize(files, gap_s=240.0)
+
+
+# -- word statistics ------------------------------------------------------------------
+
+def test_word_stats_match_python_statistics():
+    files = generate_files(2, 0.02, seed=31)
+    hist = word_length_histogram(files, parallel_maps=2)
+    lengths = reference_word_lengths(files)
+    assert word_mean(hist) == pytest.approx(statistics.mean(lengths))
+    assert word_median(hist) == statistics.median_low(lengths)
+    assert word_stddev(hist) == pytest.approx(statistics.pstdev(lengths))
+
+
+def test_word_stats_tiny_input():
+    hist = word_length_histogram([("f", "ab abc a")])
+    assert word_mean(hist) == pytest.approx(2.0)
+    assert word_median(hist) == 2
+    assert word_stddev(hist) == pytest.approx(statistics.pstdev([2, 3, 1]))
+
+
+def test_word_stats_empty_input_raises():
+    hist = word_length_histogram([("f", "")])
+    with pytest.raises(ValueError):
+        word_mean(hist)
+    with pytest.raises(ValueError):
+        word_median(hist)
+    with pytest.raises(ValueError):
+        word_stddev(hist)

@@ -1,0 +1,296 @@
+"""Advanced kernel semantics: interrupts vs conditions, stress, determinism."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Interrupt,
+    PriorityResource,
+    Resource,
+    SimulationError,
+    Store,
+)
+
+
+# -- interrupts vs composite waits -----------------------------------------------
+
+def test_interrupt_while_waiting_on_condition():
+    env = Environment()
+    log = []
+
+    def victim(env):
+        t1 = env.timeout(50)
+        t2 = env.timeout(60)
+        try:
+            yield t1 & t2
+        except Interrupt as intr:
+            log.append((env.now, intr.cause))
+
+    def attacker(env, target):
+        yield env.timeout(5)
+        target.interrupt("stop waiting")
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    assert log == [(5.0, "stop waiting")]
+
+
+def test_interrupt_while_holding_resource_releases_via_context():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def holder(env):
+        with res.request() as req:
+            yield req
+            order.append("acquired")
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                order.append("interrupted")
+                # context manager releases on exit
+
+    def waiter(env):
+        with res.request() as req:
+            yield req
+            order.append("second-in")
+
+    h = env.process(holder(env))
+    env.process(waiter(env))
+
+    def attacker(env):
+        yield env.timeout(3)
+        h.interrupt()
+
+    env.process(attacker(env))
+    env.run()
+    assert order == ["acquired", "interrupted", "second-in"]
+
+
+def test_double_interrupt_both_delivered():
+    env = Environment()
+    causes = []
+
+    def victim(env):
+        for _ in range(2):
+            try:
+                yield env.timeout(100)
+            except Interrupt as intr:
+                causes.append(intr.cause)
+
+    def attacker(env, target):
+        yield env.timeout(1)
+        target.interrupt("first")
+        yield env.timeout(1)
+        target.interrupt("second")
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    assert causes == ["first", "second"]
+
+
+def test_nested_conditions():
+    env = Environment()
+    got = []
+
+    def proc(env):
+        a = env.timeout(1, value="a")
+        b = env.timeout(2, value="b")
+        c = env.timeout(10, value="c")
+        # (a AND b) OR c -> fires at t=2
+        result = yield (a & b) | c
+        got.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert got == [2.0]
+
+
+def test_condition_over_processes_and_timeouts():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+        return "done"
+
+    def proc(env):
+        p = env.process(quick(env))
+        t = env.timeout(5)
+        result = yield AnyOf(env, [p, t])
+        return list(result.values())
+
+    main = env.process(proc(env))
+    env.run()
+    assert main.value == ["done"]
+
+
+# -- store/get cancellation semantics -----------------------------------------------
+
+def test_interrupted_store_getter_does_not_steal_items():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def getter(env, name):
+        try:
+            item = yield store.get()
+            got.append((name, item))
+        except Interrupt:
+            got.append((name, "interrupted"))
+
+    g1 = env.process(getter(env, "g1"))
+    env.process(getter(env, "g2"))
+
+    def driver(env):
+        yield env.timeout(1)
+        g1.interrupt()
+        yield env.timeout(1)
+        store.put("item")
+
+    env.process(driver(env))
+    env.run()
+    assert ("g1", "interrupted") in got
+    assert ("g2", "item") in got
+
+
+def test_priority_resource_fifo_within_priority():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def user(env, name, prio, delay):
+        yield env.timeout(delay)
+        with res.request(priority=prio) as req:
+            yield req
+            order.append(name)
+            yield env.timeout(10)
+
+    env.process(user(env, "holder", 0, 0))
+    env.process(user(env, "first-p1", 1, 1))
+    env.process(user(env, "second-p1", 1, 2))
+    env.run()
+    assert order == ["holder", "first-p1", "second-p1"]
+
+
+# -- stress and determinism ------------------------------------------------------------
+
+def test_thousand_process_stress():
+    env = Environment()
+    done = []
+
+    def worker(env, i):
+        yield env.timeout((i % 13) * 0.1 + 0.01)
+        done.append(i)
+
+    for i in range(1000):
+        env.process(worker(env, i))
+    env.run()
+    assert len(done) == 1000
+    assert sorted(done) == list(range(1000))
+
+
+def test_deep_process_chain():
+    env = Environment()
+
+    def link(env, depth):
+        if depth == 0:
+            yield env.timeout(0.01)
+            return 0
+        child = env.process(link(env, depth - 1))
+        value = yield child
+        return value + 1
+
+    root = env.process(link(env, 150))
+    env.run()
+    assert root.value == 150
+
+
+@given(st.lists(st.tuples(st.floats(0.01, 5.0), st.integers(0, 3)),
+                min_size=1, max_size=30))
+@settings(max_examples=30, deadline=None)
+def test_property_event_ordering_deterministic(specs):
+    def run_once():
+        env = Environment()
+        trace = []
+
+        def worker(env, i, delay, hops):
+            for hop in range(hops + 1):
+                yield env.timeout(delay)
+                trace.append((round(env.now, 9), i, hop))
+
+        for i, (delay, hops) in enumerate(specs):
+            env.process(worker(env, i, delay, hops))
+        env.run()
+        return trace
+
+    assert run_once() == run_once()
+
+
+@given(st.integers(1, 6), st.integers(1, 20))
+@settings(max_examples=30, deadline=None)
+def test_property_resource_never_exceeds_capacity(capacity, users):
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+    peak = [0]
+
+    def user(env, i):
+        yield env.timeout(i * 0.1)
+        with res.request() as req:
+            yield req
+            peak[0] = max(peak[0], res.count)
+            yield env.timeout(1.0)
+
+    for i in range(users):
+        env.process(user(env, i))
+    env.run()
+    assert peak[0] <= capacity
+    assert res.count == 0
+
+
+def test_run_until_zero_duration():
+    env = Environment()
+    env.run(until=0)
+    assert env.now == 0.0
+
+
+def test_event_callbacks_after_processed_raise_cleanly():
+    env = Environment()
+    t = env.timeout(1)
+    env.run()
+    assert t.processed
+    # Appending to a processed event's callbacks is a programming error the
+    # kernel surfaces as AttributeError (callbacks is None).
+    with pytest.raises((AttributeError, TypeError)):
+        t.callbacks.append(lambda e: None)
+
+
+def test_run_until_already_processed_event_returns_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+        return "answer"
+
+    p = env.process(proc(env))
+    env.run()
+    assert env.run(until=p) == "answer"   # no crash, immediate return
+
+
+def test_run_until_already_failed_event_raises():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1)
+        raise ValueError("boom")
+
+    p = env.process(bad(env))
+    p.defuse()
+    env.run()
+    with pytest.raises(ValueError, match="boom"):
+        env.run(until=p)

@@ -1,0 +1,254 @@
+"""Unit tests for queued resources, level containers, and stores."""
+
+import pytest
+
+from repro.simulation import Environment, LevelContainer, PriorityResource, Resource, Store
+from repro.simulation.errors import SimulationError
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    order = []
+
+    def user(env, name, hold):
+        with res.request() as req:
+            yield req
+            order.append((env.now, name, "in"))
+            yield env.timeout(hold)
+        order.append((env.now, name, "out"))
+
+    env.process(user(env, "a", 3))
+    env.process(user(env, "b", 3))
+    env.process(user(env, "c", 3))
+    env.run()
+    # a and b enter at t=0; c must wait until one releases at t=3.
+    assert (0.0, "a", "in") in order and (0.0, "b", "in") in order
+    assert (3.0, "c", "in") in order
+    assert env.now == 6.0
+
+
+def test_resource_counts():
+    env = Environment()
+    res = Resource(env, capacity=3)
+
+    def holder(env):
+        with res.request() as req:
+            yield req
+            yield env.timeout(10)
+
+    env.process(holder(env))
+    env.run(until=1)
+    assert res.count == 1
+    assert res.available == 2
+
+
+def test_resource_capacity_must_be_positive():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_release_without_hold_is_error():
+    env = Environment()
+    res = Resource(env)
+    req = res.request()
+    env.run()
+    res.release(req)
+    with pytest.raises(SimulationError):
+        res.release(req)
+
+
+def test_cancel_pending_request_removes_from_queue():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder(env):
+        with res.request() as req:
+            yield req
+            yield env.timeout(5)
+
+    env.process(holder(env))
+    env.run(until=1)
+    req2 = res.request()
+    assert res.queue == [req2]
+    req2.cancel()
+    assert res.queue == []
+
+
+def test_priority_resource_serves_lowest_priority_first():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def user(env, name, prio, start):
+        yield env.timeout(start)
+        with res.request(priority=prio) as req:
+            yield req
+            order.append(name)
+            yield env.timeout(10)
+
+    env.process(user(env, "first", 5, 0))    # grabs immediately
+    env.process(user(env, "low", 9, 1))      # queued
+    env.process(user(env, "high", 0, 2))     # queued later but higher prio
+    env.run()
+    assert order == ["first", "high", "low"]
+
+
+def test_level_container_blocks_get_until_put():
+    env = Environment()
+    tank = LevelContainer(env, capacity=100, init=0)
+    log = []
+
+    def consumer(env):
+        yield tank.get(30)
+        log.append(("got", env.now))
+
+    def producer(env):
+        yield env.timeout(4)
+        yield tank.put(50)
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert log == [("got", 4.0)]
+    assert tank.level == 20
+
+
+def test_level_container_put_blocks_at_capacity():
+    env = Environment()
+    tank = LevelContainer(env, capacity=10, init=8)
+    log = []
+
+    def producer(env):
+        yield tank.put(5)
+        log.append(("put-done", env.now))
+
+    def consumer(env):
+        yield env.timeout(2)
+        yield tank.get(6)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert log == [("put-done", 2.0)]
+    assert tank.level == 7
+
+
+def test_level_container_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        LevelContainer(env, capacity=0)
+    with pytest.raises(ValueError):
+        LevelContainer(env, capacity=5, init=9)
+    tank = LevelContainer(env, capacity=5)
+    with pytest.raises(ValueError):
+        tank.put(0)
+    with pytest.raises(ValueError):
+        tank.get(-1)
+
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer(env):
+        for i in range(3):
+            yield store.put(i)
+            yield env.timeout(1)
+
+    def consumer(env):
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_get_blocks_until_item():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env):
+        item = yield store.get()
+        got.append((env.now, item))
+
+    def producer(env):
+        yield env.timeout(6)
+        yield store.put("x")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert got == [(6.0, "x")]
+
+
+def test_store_filtered_get_skips_non_matching():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env):
+        item = yield store.get(filter=lambda i: i % 2 == 0)
+        got.append(item)
+
+    def producer(env):
+        yield store.put(1)
+        yield store.put(3)
+        yield env.timeout(1)
+        yield store.put(4)
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert got == [4]
+    assert store.items == [1, 3]
+
+
+def test_store_bounded_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    log = []
+
+    def producer(env):
+        yield store.put("a")
+        yield store.put("b")
+        log.append(("b-in", env.now))
+
+    def consumer(env):
+        yield env.timeout(5)
+        item = yield store.get()
+        log.append(("got", item, env.now))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert ("got", "a", 5.0) in log
+    assert ("b-in", 5.0) in log
+
+
+def test_multiple_filtered_getters_each_matched():
+    env = Environment()
+    store = Store(env)
+    got = {}
+
+    def consumer(env, key):
+        item = yield store.get(filter=lambda i, key=key: i[0] == key)
+        got[key] = item
+
+    env.process(consumer(env, "a"))
+    env.process(consumer(env, "b"))
+
+    def producer(env):
+        yield env.timeout(1)
+        yield store.put(("b", 2))
+        yield store.put(("a", 1))
+
+    env.process(producer(env))
+    env.run()
+    assert got == {"a": ("a", 1), "b": ("b", 2)}

@@ -1,0 +1,170 @@
+"""Tests for the Spark-lite DAG engine (paper §VI future work)."""
+
+import pytest
+
+from repro.config import MRapidConfig, a3_cluster
+from repro.core import build_mrapid_cluster, build_stock_cluster
+from repro.sparklite import SparkLiteRunner, SparkStage, stage_from_profile, validate_dag
+from repro.workloads import WORDCOUNT_PROFILE
+
+
+def simple_dag(cluster, n_files=4, mb=10.0):
+    raw = cluster.load_input_files("/raw", n_files, mb)
+    return [
+        SparkStage("scan", cpu_s_per_mb=0.6, output_ratio=0.3, inputs=tuple(raw)),
+        SparkStage("agg", cpu_s_per_mb=0.15, output_ratio=0.2, parents=("scan",)),
+    ]
+
+
+# -- DAG validation -------------------------------------------------------------
+
+def test_stage_requires_inputs_xor_parents():
+    with pytest.raises(ValueError):
+        SparkStage("x", 0.1)
+    with pytest.raises(ValueError):
+        SparkStage("x", 0.1, inputs=("/a",), parents=("p",))
+
+
+def test_validate_dag_rules():
+    src = SparkStage("a", 0.1, inputs=("/x",))
+    with pytest.raises(ValueError):
+        validate_dag([])
+    with pytest.raises(ValueError):
+        validate_dag([src, SparkStage("a", 0.1, parents=("a",))])
+    with pytest.raises(ValueError):
+        validate_dag([src, SparkStage("b", 0.1, parents=("ghost",))])
+    with pytest.raises(ValueError):
+        validate_dag([SparkStage("b", 0.1, parents=("a",)), src])
+    validate_dag([src, SparkStage("b", 0.1, parents=("a",))])
+
+
+def test_stage_from_profile_carries_costs():
+    stage = stage_from_profile("s", WORDCOUNT_PROFILE, inputs=("/x",))
+    assert stage.cpu_s_per_mb == WORDCOUNT_PROFILE.map_cpu_s_per_mb
+    assert stage.output_ratio == WORDCOUNT_PROFILE.map_output_ratio
+
+
+def test_runner_validation():
+    cluster = build_stock_cluster(a3_cluster(2))
+    with pytest.raises(ValueError):
+        SparkLiteRunner(cluster, num_executors=0)
+
+
+# -- execution ---------------------------------------------------------------------
+
+def test_cold_run_completes_with_stage_accounting():
+    cluster = build_stock_cluster(a3_cluster(4))
+    result = SparkLiteRunner(cluster, num_executors=3).run(simple_dag(cluster))
+    assert set(result.stages) == {"scan", "agg"}
+    scan, agg = result.stages["scan"], result.stages["agg"]
+    assert scan.tasks == 4 and scan.input_mb == pytest.approx(40.0)
+    assert scan.output_mb == pytest.approx(12.0)
+    assert agg.input_mb == pytest.approx(12.0)
+    assert agg.start_time >= scan.finish_time - 1e-9
+    assert result.elapsed > 0 and not result.warm_start
+
+
+def test_cold_startup_overhead_is_large():
+    """The paper's complaint: AMs + executors cost many seconds to launch."""
+    cluster = build_stock_cluster(a3_cluster(4))
+    result = SparkLiteRunner(cluster, num_executors=3).run(simple_dag(cluster))
+    conf = cluster.conf
+    assert result.startup_overhead >= conf.container_launch_s * 2  # AM + execs
+
+
+def test_warm_pool_removes_startup():
+    cluster = build_mrapid_cluster(a3_cluster(4))
+    runner = SparkLiteRunner(cluster, num_executors=3, warm_pool=True)
+    result = runner.run(simple_dag(cluster))
+    assert result.warm_start
+    assert result.startup_overhead <= cluster.conf.client_submit_s + 0.1
+
+
+def test_warm_pool_reusable_across_apps():
+    cluster = build_mrapid_cluster(a3_cluster(4))
+    runner = SparkLiteRunner(cluster, num_executors=3, warm_pool=True)
+    r1 = runner.run(simple_dag(cluster))
+    raw2 = cluster.load_input_files("/raw2", 2, 10.0)
+    r2 = runner.run([SparkStage("scan2", 0.6, 0.3, inputs=tuple(raw2))])
+    assert r2.finish_time > r1.finish_time
+    assert r2.elapsed < r1.elapsed  # smaller app, no startup either way
+
+
+def test_warm_beats_cold_end_to_end():
+    cold_cluster = build_stock_cluster(a3_cluster(4))
+    cold = SparkLiteRunner(cold_cluster, num_executors=3).run(simple_dag(cold_cluster))
+    warm_cluster = build_mrapid_cluster(a3_cluster(4))
+    warm = SparkLiteRunner(warm_cluster, num_executors=3,
+                           warm_pool=True).run(simple_dag(warm_cluster))
+    assert warm.elapsed < cold.elapsed
+
+
+def test_cold_resources_released_after_run():
+    from repro.cluster import ResourceVector
+
+    cluster = build_stock_cluster(a3_cluster(4))
+    SparkLiteRunner(cluster, num_executors=3).run(simple_dag(cluster))
+    cluster.env.run(until=cluster.env.now + 2.0)
+    assert cluster.rm.total_used() == ResourceVector(0, 0)
+
+
+def test_diamond_dag_joins_parents():
+    cluster = build_mrapid_cluster(a3_cluster(4))
+    a_in = cluster.load_input_files("/a", 2, 10.0)
+    b_in = cluster.load_input_files("/b", 2, 10.0)
+    dag = [
+        SparkStage("a", 0.3, 0.5, inputs=tuple(a_in)),
+        SparkStage("b", 0.3, 0.5, inputs=tuple(b_in)),
+        SparkStage("join", 0.1, 1.0, parents=("a", "b"), partitions=4),
+    ]
+    result = SparkLiteRunner(cluster, num_executors=3, warm_pool=True).run(dag)
+    join = result.stages["join"]
+    assert join.input_mb == pytest.approx(
+        result.stages["a"].output_mb + result.stages["b"].output_mb)
+    assert join.tasks == 4
+
+
+def test_shuffle_moves_bytes_when_executors_spread():
+    """On a D+ cluster cold-start, executors spread across nodes, so the
+    stage boundary really crosses the network."""
+    cluster = build_mrapid_cluster(a3_cluster(4))
+    result = SparkLiteRunner(cluster, num_executors=3).run(simple_dag(cluster))
+    homes = set(result.stages["scan"].partition_homes.values())
+    if len(homes) > 1:
+        assert result.total_shuffle_mb() > 0
+
+
+def test_multiblock_source_files_partition_per_block():
+    cluster = build_mrapid_cluster(a3_cluster(4))
+    paths = cluster.load_input_files("/big", 1, 150.0)  # 3 blocks of 64 MB
+    dag = [SparkStage("scan", 0.1, 0.1, inputs=tuple(paths))]
+    result = SparkLiteRunner(cluster, num_executors=3, warm_pool=True).run(dag)
+    assert result.stages["scan"].tasks == 3
+
+
+def test_executor_cache_spills_when_over_storage_fraction():
+    cluster = build_mrapid_cluster(a3_cluster(4))
+    raw = cluster.load_input_files("/big", 4, 40.0)
+    dag = [SparkStage("scan", 0.05, 1.0, inputs=tuple(raw))]  # 160 MB cached
+    runner = SparkLiteRunner(cluster, num_executors=2, executor_memory_mb=128,
+                             warm_pool=True, storage_fraction=0.5)
+    result = runner.run(dag)
+    spilled = sum(e.spilled_mb for e in runner._warm_executors)
+    assert spilled > 0
+    cached = sum(e.cached_mb for e in runner._warm_executors)
+    assert cached <= 2 * 64.0 + 1e-9  # never beyond the storage fraction
+
+
+def test_executor_cache_fits_small_job():
+    cluster = build_mrapid_cluster(a3_cluster(4))
+    raw = cluster.load_input_files("/small", 2, 5.0)
+    dag = [SparkStage("scan", 0.05, 0.5, inputs=tuple(raw))]
+    runner = SparkLiteRunner(cluster, num_executors=2, warm_pool=True)
+    runner.run(dag)
+    assert sum(e.spilled_mb for e in runner._warm_executors) == 0
+
+
+def test_storage_fraction_validation():
+    cluster = build_mrapid_cluster(a3_cluster(2))
+    with pytest.raises(ValueError):
+        SparkLiteRunner(cluster, storage_fraction=0.0)
