@@ -41,9 +41,10 @@ def _cluster_spec(name: str):
 
 def _all_figures() -> dict:
     from .experiments import ALL_FIGURES
+    from .experiments.chaos import CHAOS_FIGURES
     from .experiments.extended import EXTENDED_FIGURES
 
-    return {**ALL_FIGURES, **EXTENDED_FIGURES}
+    return {**ALL_FIGURES, **EXTENDED_FIGURES, **CHAOS_FIGURES}
 
 
 def cmd_figures(_args) -> int:
@@ -170,6 +171,37 @@ def cmd_spark(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Run one job (or the whole figure) under an injected fault scenario."""
+    from .experiments.chaos import (
+        CHAOS_MODES,
+        SCENARIOS,
+        figureC1_runtime_under_faults,
+        run_under_faults,
+    )
+
+    if args.scenario == "all":
+        # Scenario names are categorical, so render_figure would just
+        # repeat the table; print it once.
+        print(figureC1_runtime_under_faults().render_table())
+        return 0
+
+    plans = dict(SCENARIOS)
+    make_plan = plans.get(args.scenario)
+    if make_plan is None:
+        print(f"unknown scenario {args.scenario!r}; one of "
+              f"{['all'] + list(plans)}", file=sys.stderr)
+        return 2
+    modes = CHAOS_MODES if args.mode == "all" else (args.mode,)
+    for mode in modes:
+        point = run_under_faults(mode, make_plan().with_seed(args.seed))
+        faults = ", ".join(f"{t:.1f}s {kind} {victim}"
+                           for t, kind, victim in point.timeline) or "none"
+        print(f"{mode:20s} {point.elapsed:7.2f}s  "
+              f"resubmits={point.resubmits}  faults: {faults}")
+    return 0
+
+
 def cmd_tune(args) -> int:
     """Auto-tune U+ parallelism for a representative WordCount job."""
     from .core import tune_maps_per_vcore
@@ -248,6 +280,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--executors", type=int, default=3)
     p.add_argument("--cluster", default="a3", choices=["a3", "a2"])
     p.set_defaults(fn=cmd_spark)
+
+    p = sub.add_parser("chaos", help="runtime under injected faults (Figure C1)")
+    p.add_argument("--scenario", default="all",
+                   choices=["all", "healthy", "worker-crash", "am-crash",
+                            "gray-disk"])
+    p.add_argument("--mode", default="all",
+                   choices=["all", "Hadoop-Distributed", "MRapid-D+",
+                            "MRapid-U+", "MRapid-Speculative"])
+    p.add_argument("--seed", type=int, default=17)
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("tune", help="auto-tune U+ maps-per-vcore by simulation")
     p.add_argument("--files", type=int, default=8)

@@ -90,6 +90,41 @@ class ClusterNetwork:
     def kill(self, flow: Flow) -> None:
         self.fabric.kill(flow)
 
+    # -- fault hooks --------------------------------------------------------
+    def _node_links(self, node_id: str) -> tuple[str, str]:
+        if node_id not in self._node_rack:
+            raise KeyError(f"unknown node {node_id!r}")
+        return (f"nic_out:{node_id}", f"nic_in:{node_id}")
+
+    def set_node_degradation(self, node_id: str, factor: float) -> None:
+        """Degrade a node's NIC by ``factor`` (>1 = slower; 1.0 restores).
+
+        A very large factor approximates a network partition: capacity must
+        stay positive, so in-flight transfers stall to a crawl instead of
+        erroring, and heal transparently when the degradation is lifted —
+        exactly how a gray network failure looks to the application.
+        """
+        if factor < 1.0:
+            raise ValueError("degradation factor must be >= 1")
+        for link in self._node_links(node_id):
+            self.fabric.set_capacity(link, self.bandwidth_mb_s / factor)
+
+    def restore_node(self, node_id: str) -> None:
+        self.set_node_degradation(node_id, 1.0)
+
+    def fail_node_flows(self, node_id: str) -> int:
+        """Kill every in-flight transfer touching ``node_id`` (machine died).
+
+        Returns the number of flows killed; their waiters observe
+        :class:`~repro.cluster.fabric.FlowKilled`.
+        """
+        links = set(self._node_links(node_id))
+        victims = [f for f in self.fabric.active_flows
+                   if links.intersection(f.path)]
+        for flow in victims:
+            self.fabric.kill(flow)
+        return len(victims)
+
     @property
     def active_transfers(self) -> int:
         return len(self.fabric.active_flows)

@@ -33,12 +33,34 @@ class DiskDevice:
         self.read_mb_s = read_mb_s
         self.write_mb_s = write_mb_s
         self.seek_penalty = seek_penalty
+        #: Gray-failure knob: >1 slows every op (sick disk, throttled volume).
+        self.slowdown = 1.0
         self._device = FairShareDevice(env, capacity=1.0, name=name)
 
     def _capacity_for(self, n_ops: int) -> float:
-        if n_ops <= 1:
-            return 1.0
-        return 1.0 / (1.0 + self.seek_penalty * (n_ops - 1))
+        base = 1.0
+        if n_ops > 1:
+            base = 1.0 / (1.0 + self.seek_penalty * (n_ops - 1))
+        return base / self.slowdown
+
+    def set_slowdown(self, factor: float) -> None:
+        """Degrade (or restore, factor=1.0) the device; in-flight ops adjust."""
+        if factor <= 0:
+            raise ValueError("slowdown factor must be positive")
+        self.slowdown = float(factor)
+        n = max(1, self._device.active_count)
+        self._device.fabric.set_capacity(FairShareDevice.LINK, self._capacity_for(n))
+
+    def fail_active(self) -> int:
+        """Kill every in-flight op (the machine died under them).
+
+        Waiters see :class:`~repro.cluster.fabric.FlowKilled` through each
+        flow's ``done`` event. Returns the number of flows killed.
+        """
+        victims = list(self._device.fabric.active_flows)
+        for flow in victims:
+            self._device.kill(flow)
+        return len(victims)
 
     def _submit(self, device_seconds: float, label: str) -> Flow:
         n_after = self._device.active_count + 1

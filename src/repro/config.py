@@ -132,6 +132,13 @@ class HadoopConfig:
     # -- fault tolerance -------------------------------------------------------------
     max_task_attempts: int = 4         # mapreduce.map/reduce.maxattempts
     am_max_attempts: int = 2           # yarn.resourcemanager.am.max-attempts
+    #: Second AM attempt replays completed-task history instead of re-running
+    #: the whole job (yarn.app.mapreduce.am.job.recovery.enable).
+    am_work_preserving_recovery: bool = True
+    #: AM-level node blacklisting (yarn.app.mapreduce.am.job.node-blacklisting
+    #: .enable + mapreduce.job.maxtaskfailures.per.tracker).
+    node_blacklist_enabled: bool = True
+    max_failures_per_node: int = 3
 
     # -- in-job straggler speculation (mapreduce.map.speculative) ----------------------
     # Distinct from MRapid's *mode* speculation: this duplicates slow task

@@ -14,7 +14,7 @@
 from .ampool import MODE_DPLUS, MODE_UPLUS, AMSlave, JobHandle, SubmissionFramework
 from .chain import ChainResult, ChainRunner, ChainStage, run_chain, validate_chain
 from .cluster_resource import ClusterResource
-from .decision import Decision, DecisionMaker, HistoryEntry, JobHistory
+from .decision import Decision, DecisionMaker, FailureModel, HistoryEntry, JobHistory
 from .dplus import DPlusScheduler
 from .estimator import (
     EstimatorInputs,
@@ -49,6 +49,7 @@ __all__ = [
     "DecisionMaker",
     "DPlusScheduler",
     "EstimatorInputs",
+    "FailureModel",
     "HistoryEntry",
     "IntermediateCache",
     "JobHandle",

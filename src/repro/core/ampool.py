@@ -41,6 +41,12 @@ class AMSlave:
         self.container = container
         self.slot_id = next(_slot_ids)
         self.ready = framework.cluster.env.event()
+        #: Running a job right now (vs parked in the pool).
+        self.busy = False
+        #: Died with its node; must never return to the pool.
+        self.failed = False
+        #: The current job's AM process (interrupted if the node dies).
+        self.job_proc: Optional["Process"] = None
 
     @property
     def node_id(self) -> str:
@@ -89,6 +95,10 @@ class SubmissionFramework:
         self.decision_maker = DecisionMaker()
         if self.mrapid.use_am_pool:
             self._fill_pool()
+            # Pooled AMs bypass the RM's container machinery, so the proxy
+            # must watch for node losses itself: kill jobs whose warm AM died
+            # with its machine and heal the pool on a survivor.
+            cluster.rm.node_lost_listeners.append(self._handle_node_loss)
 
     # -- pool bootstrap -----------------------------------------------------
     def _fill_pool(self) -> None:
@@ -116,6 +126,57 @@ class SubmissionFramework:
             # window — that is the whole point of reusing AMs).
             slave.mark_ready()
             self.pool.put(slave)
+
+    # -- fault handling -----------------------------------------------------------
+    def _handle_node_loss(self, node_id: str) -> None:
+        """A machine hosting pool AMs died: fail its slaves, heal the pool."""
+        dead = [s for s in self.slaves if s.node_id == node_id]
+        if not dead:
+            return
+        env = self.cluster.env
+        state = self.cluster.rm.nodes.get(node_id)
+        for slave in dead:
+            slave.failed = True
+            self.slaves.remove(slave)
+            # Parked slaves wait as pool items; busy ones die with their job
+            # (the job is killed — pooled AMs have no RM restart path, like
+            # a real long-running service container).
+            if slave in self.pool.items:
+                self.pool.items.remove(slave)
+            if slave.job_proc is not None and slave.job_proc.is_alive:
+                slave.job_proc.defuse()
+                slave.job_proc.interrupt("AM node failure")
+            if state is not None:
+                state.release(slave.container.resource)
+        env.process(self._respawn_slaves(len(dead)),
+                    name=f"ampool-respawn-{node_id}")
+        self.cluster.log.mark(env.now, "ampool_slaves_lost",
+                              node=node_id, count=len(dead))
+
+    def _respawn_slaves(self, count: int) -> Generator:
+        """Launch replacement warm AMs on surviving nodes (pays JVM launch)."""
+        conf = self.cluster.conf
+        yield self.cluster.env.timeout(conf.container_launch_s)
+        am_resource = ResourceVector(conf.am_memory_mb, conf.am_vcores)
+        spawned = 0
+        for _ in range(count):
+            nodes = sorted(
+                (n for n in self.cluster.rm.nodes.values()
+                 if n.alive and n.can_fit(am_resource)),
+                key=lambda n: (-n.available.memory_mb, n.node_id))
+            if not nodes:
+                break  # cluster too tight; pool stays smaller
+            node = nodes[0]
+            container = Container(next_container_id(), node.node_id, am_resource,
+                                  app_id="ampool")
+            node.allocate(am_resource)
+            slave = AMSlave(self, container)
+            self.slaves.append(slave)
+            slave.mark_ready()
+            self.pool.put(slave)
+            spawned += 1
+        self.cluster.log.mark(self.cluster.env.now, "ampool_respawned",
+                              count=spawned)
 
     # -- submission ---------------------------------------------------------------
     def submit(self, spec: SimJobSpec, mode: str) -> JobHandle:
@@ -158,6 +219,7 @@ class SubmissionFramework:
 
         # Proxy: pick a warm AM (waits when the pool is empty).
         slave = yield self.pool.get()
+        slave.busy = True
         try:
             # Proxy -> AMSlave RPC carrying the job description.
             yield env.timeout(conf.rpc_latency_s)
@@ -174,6 +236,7 @@ class SubmissionFramework:
             am = self._make_am(spec, mode, result)
             job_proc = env.process(am.run(ctx), name=f"am-{app_id}")
             handle._job_proc = job_proc
+            slave.job_proc = job_proc
             try:
                 final: JobResult = yield job_proc
             except Interrupt:
@@ -190,10 +253,15 @@ class SubmissionFramework:
                 rm._ready.pop(app_id, None)
             return final
         finally:
-            # The AM survives the job and goes back to the pool. (Plain call:
-            # an unbounded Store admits immediately, and yielding inside a
-            # finally block would break generator close()).
-            self.pool.put(slave)
+            # The AM survives the job and goes back to the pool — unless its
+            # node died under it, in which case the loss handler already
+            # scheduled a replacement. (Plain call: an unbounded Store admits
+            # immediately, and yielding inside a finally block would break
+            # generator close()).
+            slave.busy = False
+            slave.job_proc = None
+            if not slave.failed:
+                self.pool.put(slave)
 
     def _run_unpooled(self, spec: SimJobSpec, mode: str, handle: JobHandle) -> Generator:
         """Figure 1 path: allocate + launch a fresh AM for this job."""

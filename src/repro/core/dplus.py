@@ -109,6 +109,8 @@ class DPlusScheduler(SchedulerBase):
         """Paper's getResource(task, node, type): grant iff the node matches
         the task's preference at this locality level and has room."""
         request = item.request
+        if node.node_id in request.blacklist:
+            return None
         # With the balanced round-robin disabled (Figure 14 ablation) the
         # scheduler degrades to the *stock* allocator it replaced: greedy
         # packing under the memory-only DefaultResourceCalculator. With it

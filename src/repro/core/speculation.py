@@ -110,6 +110,21 @@ class SpeculativeExecutor:
                     break
             yield env.timeout(self.poll_interval_s)
 
+        def _faulted(handle: JobHandle) -> bool:
+            r = handle.result
+            return r is not None and (r.killed or r.failed)
+
+        # A mode that exited because of a fault (its AM died with its node)
+        # forfeits: the surviving mode is the winner regardless of projected
+        # speed — never kill the healthy run in favour of a dead one.
+        by_forfeit = False
+        if (killed is None and not h_u.proc.is_alive and h_d.proc.is_alive
+                and _faulted(h_u)):
+            killed, by_forfeit = "uplus", True
+        elif (killed is None and not h_d.proc.is_alive and h_u.proc.is_alive
+                and _faulted(h_d)):
+            killed, by_forfeit = "dplus", True
+
         if killed == "dplus" or (killed is None and not h_u.proc.is_alive
                                  and h_d.proc.is_alive):
             # U+ is (or will be) the winner; D+ was killed or U+ finished first.
@@ -137,9 +152,12 @@ class SpeculativeExecutor:
             winner=winner_result, winner_mode=winner_mode, decision=decision,
             killed_mode=killed, decision_time=decision_time,
         )
-        self.decision_maker.history.record(
-            spec.signature, winner_mode,
-            input_mb=sum(m.input_mb for m in winner_result.maps),
-            elapsed_s=winner_result.elapsed,
-        )
+        # Wins by forfeit (the other mode crashed) or faulted winners say
+        # nothing about relative speed — don't poison the history with them.
+        if not by_forfeit and not (winner_result.killed or winner_result.failed):
+            self.decision_maker.history.record(
+                spec.signature, winner_mode,
+                input_mb=sum(m.input_mb for m in winner_result.maps),
+                elapsed_s=winner_result.elapsed,
+            )
         return outcome

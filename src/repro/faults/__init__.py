@@ -1,0 +1,33 @@
+"""Declarative fault injection for simulated clusters.
+
+Build a seeded :class:`FaultPlan` describing crashes, rejoins, gray disks,
+degraded or partitioned networks, and flaky containers; attach it to any
+:class:`~repro.simcluster.SimCluster` with :func:`inject`. See
+``docs/fault_tolerance.md`` for the recovery machinery the injected faults
+exercise.
+"""
+
+from .injector import FaultInjector, inject
+from .plan import (
+    ContainerFlakiness,
+    DiskSlowdown,
+    FaultEvent,
+    FaultPlan,
+    NetworkDegradation,
+    NetworkPartition,
+    NodeCrash,
+    NodeRestart,
+)
+
+__all__ = [
+    "ContainerFlakiness",
+    "DiskSlowdown",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "NetworkDegradation",
+    "NetworkPartition",
+    "NodeCrash",
+    "NodeRestart",
+    "inject",
+]

@@ -68,6 +68,19 @@ class DataNodeDaemon:
             self._proc.defuse()
             self._proc.interrupt("datanode down")
 
+    def restart(self) -> None:
+        """Recover from a failure: resume block reports if they were on.
+
+        The node rejoins with an empty inventory — the NameNode wrote its
+        replicas off when it died (real HDFS would delete the stale block
+        files after the new block reports anyway).
+        """
+        if not self.failed:
+            return
+        self.failed = False
+        if self._proc is not None:
+            self.start_reporting()
+
 
 class ReplicationManager:
     """NameNode-side: detect dead DataNodes, restore replication factors.

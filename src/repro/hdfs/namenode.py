@@ -120,3 +120,14 @@ class NameNode:
         return [
             b for f in self._files.values() for b in f.blocks if b.hosted_on(node_id)
         ]
+
+    def under_replicated(self) -> list[Block]:
+        """Blocks with fewer live replicas than the target factor.
+
+        The fsck-style health view: non-empty after a DataNode loss, drains
+        back to empty as the ReplicationManager restores the factors.
+        """
+        return [
+            b for f in self._files.values() for b in f.blocks
+            if b.size_mb > 0 and 0 < len(b.replicas) < self.replication
+        ]

@@ -9,9 +9,12 @@ everything, commit.
 Fault tolerance mirrors Hadoop's: a task attempt killed by a node failure
 is retried in a fresh container (up to ``max_task_attempts``); a failed
 reduce attempt is relaunched and re-fetches the already-completed map
-outputs. (Like real Hadoop *without* re-running completed maps whose output
-node died mid-shuffle — short-job shuffles are too brief for that window to
-matter, and the paper does not evaluate it.)
+outputs; a reducer's shuffle *fetch failure* (the completed map's output
+died with its node) re-executes that map and hands the fresh output to the
+blocked fetcher; a second AM attempt replays the completed-map history
+journaled on the Application (work-preserving recovery); and nodes that
+fail ``max_failures_per_node`` attempts are blacklisted for the rest of
+the job.
 
 Whether allocation takes >= 2 heartbeats (stock CapacityScheduler) or
 returns in the same heartbeat (D+), and whether grants spread across nodes,
@@ -29,7 +32,7 @@ from ..simulation.errors import Interrupt
 from ..simulation.resources import Store
 from ..yarn.records import Container, ContainerRequest
 from .spec import JobResult, MapOutput, SimJobSpec, TaskRecord
-from .tasks import sim_map_task, sim_reduce_task
+from .tasks import ShuffleService, sim_map_task, sim_reduce_task
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..simcluster import SimCluster
@@ -100,6 +103,11 @@ class DistributedAM:
         env = self.cluster.env
         conf = self.cluster.conf
         self.result.am_start_time = env.now
+        # A restarted AM attempt reuses this result object: clear the
+        # previous attempt's demise before trying again.
+        self.result.killed = False
+        self.result.failed = False
+        self._children = []
         try:
             # AM init: parse conf, download splits / jar from HDFS.
             yield env.timeout(conf.am_init_s)
@@ -114,10 +122,21 @@ class DistributedAM:
             self.result.reduces = [reduce_record]
 
             container_resource = conf.container_resource()
+            blacklisted: set[str] = set()
+            node_task_failures: dict[str, int] = {}
+
+            rm_nodes = self.cluster.rm.nodes
+
+            def node_alive(node_id: str) -> bool:
+                state = rm_nodes.get(node_id)
+                return state is not None and state.alive
+
+            shuffle = ShuffleService(env, node_alive)
 
             def map_ask(idx: int) -> ContainerRequest:
                 prefs = splits[idx].hosts if self.request_locality else ()
-                return ContainerRequest(container_resource, tuple(prefs), tag=idx)
+                return ContainerRequest(container_resource, tuple(prefs), tag=idx,
+                                        blacklist=tuple(sorted(blacklisted)))
 
             def reduce_ask() -> ContainerRequest:
                 prefs: tuple[str, ...] = ()
@@ -129,17 +148,15 @@ class DistributedAM:
                             by_node[r.node_id] = by_node.get(r.node_id, 0.0) + r.output_mb
                     if by_node:
                         prefs = tuple(sorted(by_node, key=lambda n: -by_node[n])[:3])
-                return ContainerRequest(container_resource, prefs, tag="reduce")
-
-            unassigned = list(range(n_maps))
-            asks = [map_ask(idx) for idx in range(n_maps)]
-            ask_times: dict[int, float] = {idx: env.now for idx in range(n_maps)}
+                return ContainerRequest(container_resource, prefs, tag="reduce",
+                                        blacklist=tuple(sorted(blacklisted)))
 
             attempts: dict[int, int] = {idx: 0 for idx in range(n_maps)}
             attempts[REDUCE] = 0
             launches: dict[int, int] = {idx: 0 for idx in range(n_maps)}
             running: dict = {}          # proc -> task index (REDUCE for reduce)
             proc_records: dict = {}     # proc -> its attempt's TaskRecord
+            proc_nodes: dict = {}       # proc -> node its container ran on
             completed: set[int] = set()
             speculating: set[int] = set()  # tasks with a duplicate in flight
             reduce_requested = False
@@ -147,18 +164,67 @@ class DistributedAM:
             reduce_done = False
             reduce_threshold = max(1, math.ceil(conf.slowstart_completed_maps * n_maps))
 
+            # Work-preserving recovery: a second AM attempt replays the maps
+            # the previous attempt journaled, provided their outputs are
+            # still reachable (the hosting node is alive); the rest re-run.
+            if conf.am_work_preserving_recovery:
+                for idx, old in sorted(ctx.recovered_maps().items()):
+                    if idx >= n_maps or old.finish_time <= 0 or not node_alive(old.node_id):
+                        continue
+                    completed.add(idx)
+                    map_records[idx] = old
+                    launches[idx] = 1
+                    bus.put(MapOutput(old.task_id, old.node_id, old.output_mb,
+                                      old.in_memory_output))
+                    self.cluster.log.mark(env.now, "map_recovered",
+                                          task=old.task_id, node=old.node_id)
+                self.result.maps = map_records
+
+            unassigned = [idx for idx in range(n_maps) if idx not in completed]
+            asks = [map_ask(idx) for idx in unassigned]
+            ask_times: dict[int, float] = {idx: env.now for idx in unassigned}
+
+            def requeue_grant(container: Container) -> None:
+                """Return an unusable grant and restore the ask it consumed.
+
+                D+ grants carry the task tag, so the exact ask is re-issued.
+                Stock grants are untagged, but stock asks are fungible at
+                match time (:meth:`_pick_task` ignores which ask a container
+                answered), so re-asking anything outstanding keeps the
+                ask/grant ledger balanced.
+                """
+                ctx.release(container)
+                tag = getattr(container, "tag", None)
+                if tag == "reduce":
+                    asks.append(reduce_ask())
+                elif isinstance(tag, int):
+                    asks.append(map_ask(tag))
+                elif unassigned:
+                    asks.append(map_ask(unassigned[0]))
+                elif reduce_pending:
+                    asks.append(reduce_ask())
+
+            def relaunch_map(idx: int, cause: str, task_id: str, node: str) -> None:
+                """Re-execute a map whose completed output became unreachable."""
+                completed.discard(idx)
+                ctx.app.recovery_maps.pop(idx, None)
+                self.cluster.log.mark(env.now, cause, task=task_id, node=node)
+                if idx not in unassigned:
+                    unassigned.append(idx)
+                    ask_times[idx] = env.now
+                    asks.append(map_ask(idx))
+
             # -- heartbeat loop --------------------------------------------------
             while True:
                 grants = yield from ctx.allocate(asks)
                 asks = []
                 for container in grants:
-                    state = self.cluster.rm.nodes.get(container.node_id)
-                    if state is None or not state.alive:
-                        # Granted just before the node died: give it back and
-                        # ask again.
-                        ctx.release(container)
-                        if getattr(container, "tag", None) == "reduce":
-                            asks.append(reduce_ask())
+                    if (not node_alive(container.node_id)
+                            or container.node_id in blacklisted):
+                        # Granted just before the node died (or was
+                        # blacklisted after the ask went out): give the
+                        # container back and restore the ask.
+                        requeue_grant(container)
                         continue
                     task_idx = self._pick_task(container, splits, unassigned)
                     if task_idx is not None:
@@ -181,6 +247,7 @@ class DistributedAM:
                         proc.defuse()
                         running[proc] = task_idx
                         proc_records[proc] = record
+                        proc_nodes[proc] = container.node_id
                         self._children.append(proc)
                     elif reduce_pending:
                         reduce_pending = False
@@ -193,28 +260,56 @@ class DistributedAM:
                             conf.task_setup_s,
                             output_path=f"/out/{self.result.app_id}",
                             commit_rpc_s=self.commit_rpc_s,
+                            shuffle=shuffle,
                         )
                         proc = ctx.start_container(
                             container, body, name=f"{self.spec.name}-reduce")
                         proc.defuse()
                         running[proc] = REDUCE
                         proc_records[proc] = record
+                        proc_nodes[proc] = container.node_id
                         self._children.append(proc)
                     else:
                         ctx.release(container)  # surplus grant
+
+                # Shuffle fetch failures: a reducer could not pull a completed
+                # map's output (it died with its node) and is blocked on a
+                # replacement — re-execute those maps, like the real AM does
+                # after TOO_MANY_FETCH_FAILURES.
+                for lost in shuffle.drain():
+                    relaunch_map(int(lost.task_id.split(".")[0][1:]),
+                                 "fetch_failure", lost.task_id, lost.node_id)
 
                 # Harvest finished attempts; retry failures; settle duplicates.
                 for proc in [p for p in list(running) if not p.is_alive]:
                     idx = running.pop(proc)
                     record = proc_records.pop(proc, None)
+                    fail_node = proc_nodes.pop(proc, None)
                     if proc.ok:
                         if idx == REDUCE:
                             reduce_done = True
                             continue
                         if idx not in completed:
+                            if record is not None and not node_alive(record.node_id):
+                                # The attempt finished, but its machine died
+                                # before this heartbeat heard: the output is
+                                # already gone. Leave the task incomplete and
+                                # re-run it (the drain above may have queued
+                                # the relaunch already).
+                                if idx not in unassigned:
+                                    unassigned.append(idx)
+                                    ask_times[idx] = env.now
+                                    asks.append(map_ask(idx))
+                                continue
                             completed.add(idx)
                             if record is not None:
                                 map_records[idx] = record  # winning attempt
+                                # Journal for work-preserving AM recovery and
+                                # wake any fetcher blocked on this map's output.
+                                ctx.record_completed_map(idx, record)
+                                shuffle.resolve(record.task_id, MapOutput(
+                                    record.task_id, record.node_id,
+                                    record.output_mb, record.in_memory_output))
                             # A still-running duplicate lost the race: kill it.
                             for other, other_idx in list(running.items()):
                                 if other_idx == idx and other.is_alive:
@@ -226,6 +321,19 @@ class DistributedAM:
                         continue
                     if idx != REDUCE and idx in completed:
                         continue  # the losing duplicate of a finished task
+                    # Node blacklisting (mapreduce.job.maxtaskfailures.per.tracker):
+                    # a machine that keeps failing attempts — gray disk, flaky
+                    # JVMs — is taken out of this job's rotation, as long as
+                    # at least one other node remains usable.
+                    if conf.node_blacklist_enabled and fail_node is not None:
+                        node_task_failures[fail_node] = node_task_failures.get(fail_node, 0) + 1
+                        if (node_task_failures[fail_node] >= conf.max_failures_per_node
+                                and fail_node not in blacklisted
+                                and len(blacklisted) < len(rm_nodes) - 1):
+                            blacklisted.add(fail_node)
+                            self.cluster.log.mark(env.now, "node_blacklisted",
+                                                  node=fail_node,
+                                                  failures=node_task_failures[fail_node])
                     attempts[idx] += 1
                     if attempts[idx] >= conf.max_task_attempts:
                         raise JobFailed(
@@ -233,11 +341,20 @@ class DistributedAM:
                             f"{attempts[idx]} attempts ({proc.value!r})")
                     if idx == REDUCE:
                         reduce_pending = True
-                        preload = [
-                            MapOutput(r.task_id, r.node_id, r.output_mb,
-                                      r.in_memory_output)
-                            for r in map_records if r.finish_time > 0
-                        ]
+                        # Preload the retry with outputs that are still
+                        # reachable; maps whose output died with their node
+                        # are re-executed instead of fed to a doomed fetch.
+                        preload = []
+                        for r_idx, r in enumerate(map_records):
+                            if r.finish_time <= 0:
+                                continue
+                            if not node_alive(r.node_id):
+                                relaunch_map(r_idx, "map_output_lost",
+                                             r.task_id, r.node_id)
+                                continue
+                            preload.append(MapOutput(r.task_id, r.node_id,
+                                                     r.output_mb,
+                                                     r.in_memory_output))
                         bus.rebuild(preload)
                         asks.append(reduce_ask())
                     else:

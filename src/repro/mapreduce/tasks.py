@@ -13,9 +13,9 @@ flows so no phantom load stays behind.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator, Optional, Protocol
+from typing import TYPE_CHECKING, Callable, Generator, Optional, Protocol
 
-from ..cluster.fabric import Flow
+from ..cluster.fabric import Flow, FlowKilled
 from ..hdfs.block import InputSplit
 from ..simulation.errors import Interrupt
 from ..simulation.resources import Store
@@ -28,6 +28,59 @@ from .spec import MapOutput, TaskRecord
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..simcluster import SimCluster
+    from ..simulation.events import Event
+
+
+class FetchFailure(Exception):
+    """A shuffle fetch cannot be served: the map output died with its node."""
+
+    def __init__(self, output: MapOutput) -> None:
+        super().__init__(output.task_id)
+        self.output = output
+
+
+class ShuffleService:
+    """The reducer <-> AM fetch-failure channel.
+
+    Real Hadoop: a reducer that cannot fetch a map's output reports the
+    failure through the umbilical; after enough reports the AM re-executes
+    the completed map and the reducer retries against the fresh output. Here
+    a fetcher calls :meth:`report_fetch_failure` and waits on the returned
+    event; the AM drains the reports each heartbeat, re-runs the maps, and
+    :meth:`resolve`\\ s each waiter with the replacement output.
+    """
+
+    def __init__(self, env, is_node_alive: Callable[[str], bool]) -> None:
+        self.env = env
+        self.is_node_alive = is_node_alive
+        #: Reported failures the AM has not seen yet.
+        self.pending: list[MapOutput] = []
+        self._waiters: dict[str, "Event"] = {}
+
+    @staticmethod
+    def _base(task_id: str) -> str:
+        return task_id.split(".")[0]
+
+    def report_fetch_failure(self, out: MapOutput) -> "Event":
+        """Register a failed fetch; returns the replacement-output event."""
+        base = self._base(out.task_id)
+        ev = self._waiters.get(base)
+        if ev is None:
+            ev = self.env.event()
+            self._waiters[base] = ev
+            self.pending.append(out)
+        return ev
+
+    def drain(self) -> list[MapOutput]:
+        """AM side: collect fetch failures reported since the last heartbeat."""
+        reported, self.pending = self.pending, []
+        return reported
+
+    def resolve(self, task_id: str, replacement: MapOutput) -> None:
+        """AM side: a re-executed map finished; wake the blocked fetcher."""
+        ev = self._waiters.pop(self._base(task_id), None)
+        if ev is not None and not ev.triggered:
+            ev.succeed(replacement)
 
 
 def wait_flow(flow: Flow) -> Generator:
@@ -44,29 +97,43 @@ def read_split_interruptible(cluster: "SimCluster", split: InputSplit,
                              at_node: str) -> Generator:
     """HDFS split read that cancels its disk/net flows on interruption.
 
-    Returns the replica node the bytes came from.
+    A read torn mid-stream by the source DataNode dying (its flows are
+    killed) fails over to a surviving replica, exactly like a DFSClient
+    rotating through block locations. Returns the replica node the bytes
+    finally came from.
     """
-    file = cluster.namenode.get_file(split.path)
-    block = file.blocks[split.split_index]
-    source = cluster.topology.closest_replica(at_node, block.replicas)
-    if source is None:
-        raise RuntimeError(f"no replicas for block {block.block_id}")
-    if split.length_mb <= 0:
+    tried: set[str] = set()
+    while True:
+        file = cluster.namenode.get_file(split.path)
+        block = file.blocks[split.split_index]
+        candidates = [r for r in block.replicas if r not in tried]
+        source = cluster.topology.closest_replica(at_node, candidates)
+        if source is None:
+            raise RuntimeError(f"no replicas for block {block.block_id}")
+        if split.length_mb <= 0:
+            return source
+        disk = cluster.topology.node(source).disk.read(split.length_mb, label="split")
+        flows = [disk]
+        wait = disk.done
+        if source != at_node:
+            net = cluster.network.transfer(source, at_node, split.length_mb, label="split")
+            flows.append(net)
+            wait = disk.done & net.done
+        try:
+            yield wait
+        except Interrupt:
+            for flow in flows:
+                flow.fabric.kill(flow)
+            raise
+        except FlowKilled:
+            # The source machine died under us; drop the surviving sibling
+            # flow and restart the read from another replica (the NameNode's
+            # replica list is already pruned by the replication manager).
+            for flow in flows:
+                flow.fabric.kill(flow)
+            tried.add(source)
+            continue
         return source
-    disk = cluster.topology.node(source).disk.read(split.length_mb, label="split")
-    flows = [disk]
-    wait = disk.done
-    if source != at_node:
-        net = cluster.network.transfer(source, at_node, split.length_mb, label="split")
-        flows.append(net)
-        wait = disk.done & net.done
-    try:
-        yield wait
-    except Interrupt:
-        for flow in flows:
-            flow.fabric.kill(flow)
-        raise
-    return source
 
 
 class MemoryCache(Protocol):
@@ -140,7 +207,11 @@ def sim_map_task(cluster: "SimCluster", profile: WorkloadProfile, split: InputSp
 
 
 def _fetch_one(cluster: "SimCluster", out: MapOutput, reduce_node: str) -> Generator:
-    """Bring one map's output to the reducer (shuffle fetch)."""
+    """Bring one map's output to the reducer (shuffle fetch).
+
+    Raises :class:`FetchFailure` when the serving node dies mid-transfer
+    (its flows are killed); the caller decides whether that is recoverable.
+    """
     if out.size_mb <= 0:
         return
     if out.node_id == reduce_node:
@@ -166,12 +237,33 @@ def _fetch_one(cluster: "SimCluster", out: MapOutput, reduce_node: str) -> Gener
         for flow in flows:
             flow.fabric.kill(flow)
         raise
+    except FlowKilled:
+        for flow in flows:
+            flow.fabric.kill(flow)
+        raise FetchFailure(out) from None
+
+
+def _fetch_with_failover(cluster: "SimCluster", out: MapOutput, reduce_node: str,
+                         shuffle: ShuffleService) -> Generator:
+    """Fetch one output; on a dead source, report and await a re-executed map."""
+    while True:
+        if (out.node_id != reduce_node and out.size_mb > 0
+                and not shuffle.is_node_alive(out.node_id)):
+            # Source already known-dead: skip the doomed transfer attempt.
+            out = yield shuffle.report_fetch_failure(out)
+            continue
+        try:
+            yield from _fetch_one(cluster, out, reduce_node)
+            return
+        except FetchFailure:
+            out = yield shuffle.report_fetch_failure(out)
 
 
 def sim_reduce_task(cluster: "SimCluster", profile: WorkloadProfile, num_maps: int,
                     node_id: str, record: TaskRecord, outputs: Store,
                     setup_s: float, output_path: str,
-                    write_output: bool = True, commit_rpc_s: float = 0.0) -> Generator:
+                    write_output: bool = True, commit_rpc_s: float = 0.0,
+                    shuffle: Optional[ShuffleService] = None) -> Generator:
     """The single reduce attempt: shuffle (overlapped fetches) -> merge ->
     reduce -> HDFS write."""
     env = cluster.env
@@ -193,15 +285,18 @@ def sim_reduce_task(cluster: "SimCluster", profile: WorkloadProfile, num_maps: i
         for _ in range(num_maps):
             out = yield outputs.get()
             total_mb += out.size_mb
-            fetchers.append(env.process(_fetch_one(cluster, out, node_id),
-                                        name=f"fetch-{out.task_id}"))
+            body = (_fetch_with_failover(cluster, out, node_id, shuffle)
+                    if shuffle is not None else _fetch_one(cluster, out, node_id))
+            fetchers.append(env.process(body, name=f"fetch-{out.task_id}"))
         if fetchers:
             yield env.all_of(fetchers)
-    except Interrupt:
+    except BaseException:
+        # Interrupt (reduce killed) or a fetcher's unrecoverable FetchFailure:
+        # tear down the surviving fetchers so no phantom transfers remain.
         for fetcher in fetchers:
             if fetcher.is_alive:
                 fetcher.defuse()
-                fetcher.interrupt("reduce killed")
+                fetcher.interrupt("reduce aborted")
         raise
     record.phases.shuffle = env.now - t
     record.input_mb = total_mb

@@ -116,14 +116,33 @@ class SimCluster:
 
     def fail_node(self, node_id: str):
         """Whole-machine failure: YARN containers die, heartbeats stop, the
-        DataNode's replicas are lost, and HDFS re-replication kicks off.
+        DataNode's replicas are lost, in-flight disk and network transfers
+        served by the machine are torn down (readers fail over to surviving
+        replicas; shuffle fetchers report fetch failures), and HDFS
+        re-replication kicks off.
 
         Returns the re-replication process (completes when replication
         factors are restored on the survivors).
         """
         self.rm.node_managers[node_id].fail()
         self.datanode_daemons[node_id].fail()
-        return self.replication_manager.handle_datanode_loss(node_id)
+        # Prune the replica maps first (handle_datanode_loss does so
+        # synchronously before yielding), then deliver the flow failures, so
+        # FlowKilled handlers already see the post-failure replica lists.
+        rerepl = self.replication_manager.handle_datanode_loss(node_id)
+        self.topology.node(node_id).disk.fail_active()
+        self.network.fail_node_flows(node_id)
+        return rerepl
+
+    def restart_node(self, node_id: str) -> None:
+        """Bring a failed machine back: the NM re-registers empty and the
+        DataNode resumes (its block inventory was already written off by the
+        NameNode on failure, so the node rejoins with no replicas — real
+        HDFS would eventually delete the stale block files anyway).
+        """
+        self.rm.node_managers[node_id].restart()
+        self.datanode_daemons[node_id].restart()
+        self.replication_manager.dead_nodes.discard(node_id)
 
     def run(self, until=None):
         return self.env.run(until=until)

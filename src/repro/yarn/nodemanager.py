@@ -33,6 +33,9 @@ class NodeManager:
         self.failed = False
         self.failed_at: float = float("inf")
         self.running: dict[int, "Process"] = {}
+        #: Fault-injection hook: ``decide(container) -> Optional[float]``
+        #: returns seconds-until-crash for a flaky container, or None.
+        self._flaky: Optional[Callable[[Container], Optional[float]]] = None
         self._heartbeat_proc = env.process(self._heartbeat_loop(), name=f"nm-hb-{node.node_id}")
 
     @property
@@ -71,7 +74,27 @@ class NodeManager:
 
         proc = self.env.process(body(), name=f"{name}@{self.node_id}")
         self.running[container.container_id] = proc
+        if self._flaky is not None:
+            crash_after = self._flaky(container)
+            if crash_after is not None:
+                self.env.process(self._sabotage(proc, crash_after),
+                                 name=f"flaky-{name}@{self.node_id}")
         return proc
+
+    def _sabotage(self, proc: "Process", delay: float) -> Generator:
+        """Kill a flaky container's process after ``delay`` seconds.
+
+        Delivered as an Interrupt, the same signal a node death sends, so
+        AMs reuse their attempt-retry (and AM-restart) machinery unchanged.
+        """
+        yield self.env.timeout(delay)
+        if proc.is_alive:
+            proc.defuse()
+            proc.interrupt("flaky container")
+
+    def set_flakiness(self, decide: Optional[Callable[[Container], Optional[float]]]) -> None:
+        """Install (or clear, with None) the per-container flakiness hook."""
+        self._flaky = decide
 
     def kill_container(self, container: Container, cause: Any = "killed") -> None:
         proc = self.running.get(container.container_id)
@@ -98,3 +121,20 @@ class NodeManager:
                 proc.defuse()
                 proc.interrupt(cause)
         self.rm.node_lost(self.node_id)
+
+    def restart(self) -> None:
+        """Bring a failed NodeManager back (transient outage recovered).
+
+        A fresh heartbeat loop starts and the RM marks the node alive with
+        zeroed accounting — everything that ran here died with the failure,
+        so the rejoining node is empty, exactly like a real NM restart
+        (containers are not work-preserved across NM death).
+        """
+        if not self.failed:
+            return
+        self.failed = False
+        self.failed_at = float("inf")
+        self.running.clear()
+        self._heartbeat_proc = self.env.process(
+            self._heartbeat_loop(), name=f"nm-hb-{self.node_id}")
+        self.rm.node_rejoined(self.node_id)

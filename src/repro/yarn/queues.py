@@ -112,6 +112,8 @@ class MultiTenantCapacityScheduler(SchedulerBase):
                 demand_mb = pending.request.resource.memory_mb
                 if queue.used_memory_mb + demand_mb > queue.ceiling_mb(cluster_mb):
                     continue  # queue at its elastic ceiling
+                if node.node_id in pending.request.blacklist:
+                    continue
                 if not node.can_fit(pending.request.resource, memory_only=True):
                     continue
                 container = self._grant(pending, node, memory_only=True)

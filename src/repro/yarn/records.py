@@ -43,6 +43,9 @@ class ContainerRequest:
     relax_locality: bool = True
     #: Opaque tag linking the grant back to a task (used by the AMs).
     tag: Any = None
+    #: Nodes this request must not be placed on (AM-level blacklisting after
+    #: repeated task failures, mapreduce.job.maxtaskfailures.per.tracker).
+    blacklist: tuple[str, ...] = ()
 
     def locality_of(self, node_id: str, topology) -> Locality:
         if not self.preferred_nodes:
@@ -128,6 +131,10 @@ class Application:
     #: Fires when the application completes, value = the AM's result.
     finished: Optional["Event"] = None
     killed: bool = False
+    #: Completed-task history surviving AM crashes (work-preserving recovery,
+    #: the JobHistory event log a second MRAppMaster attempt replays).
+    #: Maps task index -> the completed attempt's TaskRecord.
+    recovery_maps: dict = field(default_factory=dict)
 
     def __repr__(self) -> str:
         return f"<Application {self.app_id} {self.name!r}>"

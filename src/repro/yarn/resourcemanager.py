@@ -52,6 +52,9 @@ class ResourceManager:
         #: Applications whose AM container is not allocated yet (FIFO).
         self._am_queue: list[Application] = []
         self._am_processes: dict[str, Any] = {}
+        #: Callbacks fired on node_lost(node_id) — e.g. the MRapid submission
+        #: framework killing pooled-AM jobs whose slave died with the node.
+        self.node_lost_listeners: list[Any] = []
 
     # -- wiring ---------------------------------------------------------------
     def register_node_manager(self, nm: "NodeManager") -> None:
@@ -162,6 +165,22 @@ class ResourceManager:
         if node is not None:
             node.alive = False
         self.log.mark(self.env.now, "node_lost", node=node_id)
+        for listener in list(self.node_lost_listeners):
+            listener(node_id)
+
+    def node_rejoined(self, node_id: str) -> None:
+        """A restarted NodeManager re-registered: schedulable again, empty.
+
+        Accounting resets to zero — every container the node hosted died
+        with it and was released through ``container_finished`` (or by the
+        framework's node-loss handler for pooled AMs).
+        """
+        node = self.nodes.get(node_id)
+        if node is not None:
+            node.alive = True
+            node.used_memory_mb = 0
+            node.used_vcores = 0
+        self.log.mark(self.env.now, "node_rejoined", node=node_id)
 
     # -- container accounting ----------------------------------------------------------
     def container_finished(self, container: Container) -> None:
@@ -171,6 +190,35 @@ class ResourceManager:
         self.scheduler.on_container_released(container)
 
     # -- internals -----------------------------------------------------------------------
+    def _handle_am_failure(self, app: Application, exc: BaseException) -> None:
+        """An AM attempt died. Either relaunch it or fail the application."""
+        self.scheduler.remove_app(app.app_id)
+        self._ready[app.app_id] = []
+        attempt = self._am_attempts.get(app.app_id, 1)
+        retriable = (
+            not app.killed
+            and isinstance(exc, Interrupt)  # AM's node/container died under it
+            and attempt < self.conf.am_max_attempts
+        )
+        if retriable:
+            # yarn.resourcemanager.am.max-attempts: relaunch the AM.
+            # The application object (and its recovery_maps history)
+            # survives, so the next attempt can replay completed
+            # tasks when am_work_preserving_recovery is on.
+            self._am_attempts[app.app_id] = attempt + 1
+            app.am_container = None
+            self._am_queue.append(app)
+            self.log.mark(self.env.now, "am_restarted",
+                          app_id=app.app_id, attempt=attempt + 1)
+            return
+        # Terminal: surface the failure through app.finished so the
+        # client sees it; don't let the AM process itself become an
+        # unhandled event failure.
+        self._ready.pop(app.app_id, None)
+        if app.finished is not None and not app.finished.triggered:
+            app.finished.fail(exc)
+            self.log.mark(self.env.now, "app_failed", app_id=app.app_id)
+
     def _launch_am(self, app: Application, launch_delay: Optional[float] = None) -> None:
         nm = self.node_managers[app.am_container.node_id]
         ctx = AMContext(self, app, app.am_container)
@@ -181,31 +229,7 @@ class ResourceManager:
             try:
                 result = yield from app.runner(ctx)
             except Exception as exc:
-                self.scheduler.remove_app(app.app_id)
-                self._ready[app.app_id] = []
-                attempt = self._am_attempts.get(app.app_id, 1)
-                retriable = (
-                    not app.killed
-                    and isinstance(exc, Interrupt)  # AM's node died under it
-                    and attempt < self.conf.am_max_attempts
-                )
-                if retriable:
-                    # yarn.resourcemanager.am.max-attempts: relaunch the AM
-                    # from scratch (no work-preserving recovery, like a stock
-                    # Hadoop 2.2 job restart).
-                    self._am_attempts[app.app_id] = attempt + 1
-                    app.am_container = None
-                    self._am_queue.append(app)
-                    self.log.mark(self.env.now, "am_restarted",
-                                  app_id=app.app_id, attempt=attempt + 1)
-                    return None
-                # Terminal: surface the failure through app.finished so the
-                # client sees it; don't let the AM process itself become an
-                # unhandled event failure.
-                self._ready.pop(app.app_id, None)
-                if app.finished is not None and not app.finished.triggered:
-                    app.finished.fail(exc)
-                self.log.mark(self.env.now, "app_failed", app_id=app.app_id)
+                self._handle_am_failure(app, exc)
                 return None
             self.application_finished(app, result)
             return result
@@ -213,6 +237,18 @@ class ResourceManager:
         proc = nm.launch(app.am_container, am_body(), name=f"am-{app.app_id}",
                          launch_delay=launch_delay)
         self._am_processes[app.app_id] = proc
+
+        def am_watch() -> Generator:
+            # A kill that lands during the JVM launch delay never reaches
+            # am_body's handler (the payload generator hasn't started), so
+            # watch the container process itself and route the failure
+            # through the same retry-or-fail path.
+            try:
+                yield proc
+            except BaseException as exc:
+                self._handle_am_failure(app, exc)
+
+        self.env.process(am_watch(), name=f"am-watch-{app.app_id}")
         self.log.mark(self.env.now, "am_allocated", app_id=app.app_id,
                       node=app.am_container.node_id)
 
@@ -263,6 +299,15 @@ class AMContext:
 
     def release(self, container: Container) -> None:
         self.rm.container_finished(container)
+
+    # -- work-preserving recovery (yarn.app.mapreduce.am.job.recovery) -------
+    def record_completed_map(self, idx: int, record: Any) -> None:
+        """Journal a completed map so a second AM attempt can replay it."""
+        self.app.recovery_maps[idx] = record
+
+    def recovered_maps(self) -> dict:
+        """Completed-map history journaled by previous AM attempts."""
+        return dict(self.app.recovery_maps)
 
     def node(self, node_id: str):
         return self.rm.topology.node(node_id)

@@ -101,6 +101,8 @@ class CapacityScheduler(SchedulerBase):
         while progressed:
             progressed = False
             for pending in list(self.queue):
+                if node.node_id in pending.request.blacklist:
+                    continue
                 if node.can_fit(pending.request.resource, memory_only=self.memory_only):
                     container = self._grant(pending, node, memory_only=self.memory_only)
                     self.queue.remove(pending)

@@ -1,0 +1,89 @@
+"""Regression guard for the fault-injection figure (Figure C1).
+
+The simulator and the fault injector are both deterministic, so any change
+to these numbers is a model change, not noise. When a change is intentional,
+regenerate the snapshot:
+
+    python - <<'PY'
+    import json
+    from repro.experiments.chaos import figureC1_runtime_under_faults
+    fig = figureC1_runtime_under_faults()
+    snap = {fig.figure_id: {
+        name: {"x": s.x, "y": [round(v, 6) for v in s.y]}
+        for name, s in fig.series.items()
+    }}
+    json.dump(snap, open("tests/snapshots/chaos.json", "w"),
+              indent=1, sort_keys=True)
+    PY
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.chaos import (
+    CHAOS_MODES,
+    MRAPID_SPECULATIVE,
+    figureC1_runtime_under_faults,
+)
+from repro.experiments.harness import HADOOP_DIST, MRAPID_DPLUS, MRAPID_UPLUS
+
+SNAPSHOT = os.path.join(os.path.dirname(__file__), "snapshots", "chaos.json")
+
+
+@pytest.fixture(scope="module")
+def figure():
+    return figureC1_runtime_under_faults()
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    with open(SNAPSHOT) as f:
+        return json.load(f)
+
+
+def test_chaos_series_match_snapshot(figure, snapshot):
+    expected = snapshot[figure.figure_id]
+    assert set(figure.series) == set(expected) == set(CHAOS_MODES)
+    for name, series in figure.series.items():
+        exp = expected[name]
+        assert series.x == exp["x"], f"{name}: scenario set changed"
+        for got, want in zip(series.y, exp["y"]):
+            assert got == pytest.approx(want, abs=1e-5), (
+                f"{name}: series drifted ({got} != {want}); if intentional, "
+                f"regenerate the snapshot (see module docstring)")
+
+
+def test_every_mode_survives_every_scenario(figure):
+    """The acceptance bar: no scenario leaves any mode without a finished job."""
+    for series in figure.series.values():
+        assert len(series.y) == 4
+        assert all(y > 0 for y in series.y)
+
+
+def test_faults_cost_time_but_not_correctness(figure):
+    """Crashing a worker or the AM must cost seconds, not the job."""
+    for mode in (HADOOP_DIST, MRAPID_DPLUS):
+        s = figure.series[mode]
+        assert s.at("worker-crash") >= s.at("healthy")
+        assert s.at("am-crash") >= s.at("healthy")
+
+
+def test_gray_disk_hurts_stock_most(figure):
+    """Stock packs onto dn0, so a gray dn0 disk hits it hardest; D+ spreads."""
+    stock = figure.series[HADOOP_DIST]
+    dplus = figure.series[MRAPID_DPLUS]
+    stock_hit = stock.at("gray-disk") - stock.at("healthy")
+    dplus_hit = dplus.at("gray-disk") - dplus.at("healthy")
+    assert stock_hit > dplus_hit
+
+
+def test_speculation_forfeits_to_survivor_on_am_crash(figure):
+    """Killing the job AM costs the speculative run nothing extra: the
+    surviving mode wins by forfeit instead of the client resubmitting."""
+    spec = figure.series[MRAPID_SPECULATIVE]
+    assert spec.at("am-crash") <= spec.at("healthy") + 1.0
+    # while the single-mode MRapid runs pay a full resubmission
+    assert figure.series[MRAPID_UPLUS].at("am-crash") > \
+        figure.series[MRAPID_UPLUS].at("healthy") + 1.0

@@ -12,6 +12,7 @@ import pytest
 from repro.cluster import ResourceVector
 from repro.config import HadoopConfig, a3_cluster
 from repro.core import build_mrapid_cluster, build_stock_cluster, run_stock_job
+from repro.faults import FaultPlan, inject
 from repro.mapreduce import MODE_DISTRIBUTED, JobClient, SimJobSpec
 from repro.mapreduce.appmaster import JobFailed, OutputBus
 from repro.mapreduce.spec import MapOutput
@@ -29,11 +30,8 @@ def nm_of(cluster, node_id):
 
 
 def fail_node_at(cluster, node_id, at_time):
-    def killer(env):
-        yield env.timeout(at_time)
-        nm_of(cluster, node_id).fail()
-
-    cluster.env.process(killer(cluster.env))
+    """YARN-only node death at a fixed time, expressed as a fault plan."""
+    inject(cluster, FaultPlan().crash(at_time, node=node_id, hdfs=False))
 
 
 def busiest_map_node(result):

@@ -135,3 +135,70 @@ def test_multi_block_file_rereplication():
         if block.size_mb > 0:
             assert "dn2" not in block.replicas
             assert len(block.replicas) == 3
+
+
+def test_under_replicated_reporting():
+    env = Environment()
+    topo, nn, net = build(env)
+    nn.create_file("/data", 40.0, writer_node="dn1")
+    assert nn.under_replicated() == []
+    manager = ReplicationManager(env, nn, net, topo)
+    proc = manager.handle_datanode_loss("dn1")
+    # Replica lists are pruned as soon as the loss handler runs, well
+    # before the replacement copies finish...
+    env.run(until=0.01)
+    assert nn.under_replicated(), "expected under-replicated blocks after loss"
+    env.run(until=proc)
+    # ...and the queue drains once re-replication completes.
+    assert nn.under_replicated() == []
+
+
+# -- DataNode death in the middle of a running job ---------------------------------
+
+def test_datanode_death_mid_job_reads_from_survivors():
+    """A whole machine (NM + DataNode) dies while a job is reading its
+    input: the NameNode reports under-replicated blocks, surviving replicas
+    serve the readers, re-replication restores the factor, and the job's
+    output is complete and correct."""
+    from repro.config import a3_cluster
+    from repro.core import build_mrapid_cluster
+    from repro.faults import FaultPlan, inject
+    from repro.mapreduce import SimJobSpec
+    from repro.workloads import WORDCOUNT_PROFILE
+
+    cluster = build_mrapid_cluster(a3_cluster(4))
+    paths = cluster.load_input_files("/in", 8, 10.0)
+    spec = SimJobSpec("wordcount", tuple(paths), WORDCOUNT_PROFILE)
+    handle = cluster.mrapid_framework.submit(spec, "mrapid-dplus")
+    # Maps start reading ~4.8s in; kill an input-holding non-AM machine then.
+    inject(cluster, FaultPlan().crash(5.0, "dn3"))
+
+    seen_under_replicated = {"value": False}
+
+    def watcher(env):
+        while cluster.env.now < 20.0:
+            if cluster.namenode.under_replicated():
+                seen_under_replicated["value"] = True
+                return
+            yield env.timeout(0.25)
+
+    cluster.env.process(watcher(cluster.env))
+    cluster.env.run(until=handle.proc)
+    result = handle.proc.value
+
+    assert not result.failed and not result.killed
+    assert all(m.finish_time > 0 for m in result.maps)
+    assert seen_under_replicated["value"], \
+        "NameNode never reported under-replicated blocks after the death"
+    # Nothing reads from (or re-replicates onto) the dead node...
+    assert cluster.namenode.blocks_on_node("dn3") == []
+    # ...the job's output exists with every replica on a survivor...
+    out = [p for p in cluster.namenode.list_files() if "/out" in p]
+    assert out, "job output missing from HDFS"
+    for path in out:
+        for block in cluster.namenode.get_file(path).blocks:
+            assert block.replicas
+            assert "dn3" not in block.replicas
+    # ...and once re-replication settles nothing is left under-replicated.
+    cluster.env.run(until=cluster.env.now + 30.0)
+    assert cluster.namenode.under_replicated() == []

@@ -10,6 +10,7 @@ import pytest
 
 from repro.config import HadoopConfig, a3_cluster
 from repro.core import build_stock_cluster
+from repro.faults import FaultPlan, inject
 from repro.mapreduce import MODE_DISTRIBUTED, JobClient, SimJobSpec
 from repro.mapreduce.appmaster import OutputBus
 from repro.mapreduce.spec import MapOutput
@@ -100,17 +101,15 @@ def test_speculation_no_duplicates_when_tasks_uniform():
 
 # -- AM restart ----------------------------------------------------------------------
 
+KILL_JOB_AM = FaultPlan().crash(6.0, node="@job-am", hdfs=False)
+
+
 def test_am_restart_after_am_node_death():
     cluster = build_stock_cluster(a3_cluster(4))
     spec = wc_spec(cluster, 4)
     handle = JobClient(cluster).submit(spec, MODE_DISTRIBUTED)
 
-    def kill_am_node(env):
-        yield env.timeout(6.0)
-        mark = cluster.log.first("am_allocated")
-        cluster.rm.node_managers[mark.data["node"]].fail()
-
-    cluster.env.process(kill_am_node(cluster.env))
+    inject(cluster, KILL_JOB_AM)
     cluster.env.run(until=handle)
     result = handle.value
     assert all(m.finish_time > 0 for m in result.maps)
@@ -125,12 +124,7 @@ def test_am_restart_limited_by_max_attempts():
     spec = wc_spec(cluster, 4)
     handle = JobClient(cluster).submit(spec, MODE_DISTRIBUTED)
 
-    def kill_am_node(env):
-        yield env.timeout(6.0)
-        mark = cluster.log.first("am_allocated")
-        cluster.rm.node_managers[mark.data["node"]].fail()
-
-    cluster.env.process(kill_am_node(cluster.env))
+    inject(cluster, KILL_JOB_AM)
     with pytest.raises(Exception):
         cluster.env.run(until=handle)
     assert cluster.log.first("am_restarted") is None
@@ -143,12 +137,7 @@ def test_am_restart_releases_everything():
     spec = wc_spec(cluster, 4)
     handle = JobClient(cluster).submit(spec, MODE_DISTRIBUTED)
 
-    def kill_am_node(env):
-        yield env.timeout(6.0)
-        mark = cluster.log.first("am_allocated")
-        cluster.rm.node_managers[mark.data["node"]].fail()
-
-    cluster.env.process(kill_am_node(cluster.env))
+    inject(cluster, KILL_JOB_AM)
     cluster.env.run(until=handle)
     cluster.env.run(until=cluster.env.now + 2.0)
     assert cluster.rm.total_used() == ResourceVector(0, 0)
