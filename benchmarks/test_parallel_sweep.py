@@ -1,0 +1,49 @@
+"""Benchmarks for the parallel experiment runner and the perf harness.
+
+Unlike the per-figure benchmarks, these time the *machinery*: the serial vs
+parallel figure sweep (asserting byte-identical output) and the kernel and
+fabric micro-benchmarks that ``repro bench`` writes to ``BENCH_perf.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.bench import QUICK_FIGURES, bench_fabric, bench_kernel, bench_sweep, run_bench
+
+from conftest import OUTPUT_DIR
+
+
+def test_parallel_sweep_is_byte_identical(benchmark):
+    result = benchmark.pedantic(
+        lambda: bench_sweep(QUICK_FIGURES, jobs=2), rounds=1, iterations=1)
+    assert result["identical"], result["divergent_figures"]
+    assert result["serial_s"] > 0 and result["parallel_s"] > 0
+
+
+def test_kernel_throughput(benchmark):
+    result = benchmark.pedantic(
+        lambda: bench_kernel(num_events=50_000), rounds=1, iterations=1)
+    assert result["events_per_sec"] > 10_000
+
+
+def test_fabric_cost_flat_in_historical_flows(benchmark):
+    result = benchmark.pedantic(
+        lambda: bench_fabric(num_flows=2000), rounds=1, iterations=1)
+    # Per-change cost must not grow with total flows served (generous slack
+    # for timer noise on shared CI runners).
+    assert result["scaling_ratio"] < 1.5, result
+    # Timer coalescing: ~1 timer per completion, not several per change.
+    assert result["timers_armed_per_flow"] < 1.5, result
+    assert result["live_timers_end"] <= 1
+
+
+def test_bench_report_round_trips_to_json(benchmark):
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    out = os.path.join(OUTPUT_DIR, "bench_perf.json")
+    report = benchmark.pedantic(
+        lambda: run_bench(quick=True, jobs=2, output=out), rounds=1, iterations=1)
+    assert report["sweep"]["identical"]
+    with open(out) as f:
+        assert json.load(f)["schema"] == "repro-bench/1"

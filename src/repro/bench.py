@@ -1,0 +1,220 @@
+"""Performance benchmark harness: ``python -m repro bench``.
+
+Times the three layers the short-job thesis depends on and writes the
+numbers to ``BENCH_perf.json`` so every PR leaves a perf trajectory:
+
+* **figure sweep** — the full paper-evaluation sweep, serial vs parallel
+  (:mod:`repro.experiments.parallel`), with a byte-identity check between
+  the two rendered outputs;
+* **kernel** — discrete-event engine throughput (events/second);
+* **fabric** — max-min fabric throughput (flows/second) plus a scaling
+  probe: per-flow cost at N and 4N total flows through a fixed-width
+  rolling window. A ratio near 1.0 means a flow change costs the same no
+  matter how many flows passed through the fabric before it — i.e. no
+  per-change cost creep from timer churn or stale bookkeeping.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .cluster.fabric import SharedFabric
+from .simulation import Environment
+
+#: Figures exercised by ``--quick`` (CI smoke); the default is every figure.
+QUICK_FIGURES = ("table2", "figure7", "figure9", "figure12")
+
+
+# -- kernel micro-benchmark ----------------------------------------------------
+
+def bench_kernel(num_events: int = 200_000, num_procs: int = 100) -> dict:
+    """Raw event-loop throughput: many concurrent timeout-driven processes."""
+    env = Environment()
+
+    def ticker(env: Environment, n: int):
+        for _ in range(n):
+            yield env.timeout(1.0)
+
+    per_proc = max(1, num_events // num_procs)
+    for _ in range(num_procs):
+        env.process(ticker(env, per_proc))
+    start = time.perf_counter()
+    env.run()
+    wall = time.perf_counter() - start
+    events = per_proc * num_procs
+    return {
+        "events": events,
+        "seconds": round(wall, 6),
+        "events_per_sec": round(events / wall) if wall > 0 else None,
+    }
+
+
+# -- fabric micro-benchmark ----------------------------------------------------
+
+@dataclass
+class _RollingRun:
+    flows: int
+    seconds: float
+    timers_armed: int
+    peak_heap: int
+    live_timers_end: int
+
+
+def _rolling_window(num_flows: int, window: int = 16) -> _RollingRun:
+    """Push ``num_flows`` flows through a fixed-width window of concurrency.
+
+    Each completion submits the next flow, so the *active* set stays at
+    ``window`` while the *historical* total grows — exactly the regime where
+    per-change cost creep (stale timers, rebuilt indexes) would show up as a
+    super-linear wall clock.
+    """
+    env = Environment()
+    fabric = SharedFabric(env)
+    fabric.add_link("disk", 100.0)
+    fabric.add_link("nic", 80.0)
+    submitted = 0
+    peak_heap = 0
+
+    def submit_next() -> None:
+        nonlocal submitted
+        if submitted >= num_flows:
+            return
+        i = submitted
+        submitted += 1
+        path = ("disk",) if i % 3 else ("disk", "nic")
+        flow = fabric.submit(path, 5.0 + (i % 7), cap=1.0 + (i % 3),
+                             label=f"bench-{i}")
+        flow.done.callbacks.append(lambda ev: submit_next())
+
+    def heap_watch(t, ev) -> None:
+        nonlocal peak_heap
+        if len(env._queue) > peak_heap:
+            peak_heap = len(env._queue)
+
+    env.tracers.append(heap_watch)
+    start = time.perf_counter()
+    for _ in range(window):
+        submit_next()
+    env.run()
+    wall = time.perf_counter() - start
+    return _RollingRun(num_flows, wall, fabric.timers_armed, peak_heap,
+                       1 if fabric.has_live_timer else 0)
+
+
+def bench_fabric(num_flows: int = 4000, window: int = 16) -> dict:
+    """Fabric throughput plus the historical-flows scaling probe."""
+    small = _rolling_window(num_flows // 4, window)
+    large = _rolling_window(num_flows, window)
+    per_flow_small = small.seconds / small.flows
+    per_flow_large = large.seconds / large.flows
+    return {
+        "flows": large.flows,
+        "window": window,
+        "seconds": round(large.seconds, 6),
+        "flows_per_sec": round(large.flows / large.seconds) if large.seconds else None,
+        "per_flow_us_small": round(per_flow_small * 1e6, 3),
+        "per_flow_us_large": round(per_flow_large * 1e6, 3),
+        #: ~1.0 = per-change cost independent of total historical flows.
+        "scaling_ratio": round(per_flow_large / per_flow_small, 3),
+        "timers_armed_per_flow": round(large.timers_armed / large.flows, 3),
+        "peak_event_heap": large.peak_heap,
+        "live_timers_end": large.live_timers_end,
+    }
+
+
+# -- figure-sweep benchmark ----------------------------------------------------
+
+def _render_sweep(names: Sequence[str], jobs: int) -> tuple[dict[str, str], float]:
+    """Run the named figures with ``jobs`` workers; rendered tables + wall."""
+    from .experiments.figures import ALL_FIGURES
+    from .experiments.parallel import get_default_jobs, set_default_jobs
+
+    previous = get_default_jobs()
+    set_default_jobs(jobs)
+    try:
+        start = time.perf_counter()
+        tables = {name: ALL_FIGURES[name]().render_table() for name in names}
+        wall = time.perf_counter() - start
+    finally:
+        set_default_jobs(previous)
+    return tables, wall
+
+
+def bench_sweep(figures: Optional[Sequence[str]] = None,
+                jobs: Optional[int] = None, repeat: int = 1) -> dict:
+    """Serial vs parallel full figure sweep with a byte-identity check."""
+    from .experiments.figures import ALL_FIGURES
+    from .experiments.parallel import resolve_jobs
+
+    names = list(figures) if figures is not None else list(ALL_FIGURES)
+    jobs = resolve_jobs(jobs)
+    serial_tables: dict[str, str] = {}
+    serial_wall = float("inf")
+    parallel_wall = float("inf")
+    parallel_tables: dict[str, str] = {}
+    for _ in range(max(1, repeat)):
+        serial_tables, wall = _render_sweep(names, jobs=1)
+        serial_wall = min(serial_wall, wall)
+    for _ in range(max(1, repeat)):
+        parallel_tables, wall = _render_sweep(names, jobs=jobs)
+        parallel_wall = min(parallel_wall, wall)
+    divergent = [n for n in names if serial_tables[n] != parallel_tables[n]]
+    return {
+        "figures": names,
+        "jobs": jobs,
+        "repeat": repeat,
+        "serial_s": round(serial_wall, 4),
+        "parallel_s": round(parallel_wall, 4),
+        "speedup": round(serial_wall / parallel_wall, 3) if parallel_wall else None,
+        "identical": not divergent,
+        "divergent_figures": divergent,
+    }
+
+
+# -- entry point ---------------------------------------------------------------
+
+def run_bench(quick: bool = False, jobs: Optional[int] = None, repeat: int = 1,
+              output: str = "BENCH_perf.json") -> dict:
+    """Run every benchmark, write ``output``, and return the report."""
+    figures = QUICK_FIGURES if quick else None
+    kernel_events = 50_000 if quick else 200_000
+    fabric_flows = 1000 if quick else 4000
+    report = {
+        "schema": "repro-bench/1",
+        "generated_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "cpu_count": os.cpu_count(),
+        "quick": quick,
+        "sweep": bench_sweep(figures, jobs=jobs, repeat=repeat),
+        "kernel": bench_kernel(kernel_events),
+        "fabric": bench_fabric(fabric_flows),
+    }
+    if output:
+        with open(output, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=False)
+            f.write("\n")
+    return report
+
+
+def format_report(report: dict) -> str:
+    sweep = report["sweep"]
+    kernel = report["kernel"]
+    fabric = report["fabric"]
+    lines = [
+        f"bench ({'quick' if report['quick'] else 'full'}) on "
+        f"{report['cpu_count']} cpu(s)",
+        f"  sweep   : serial {sweep['serial_s']:.2f}s  parallel "
+        f"{sweep['parallel_s']:.2f}s  (x{sweep['speedup']:.2f}, "
+        f"{sweep['jobs']} jobs)  identical={sweep['identical']}",
+        f"  kernel  : {kernel['events_per_sec']:,} events/s "
+        f"({kernel['events']} events in {kernel['seconds']:.2f}s)",
+        f"  fabric  : {fabric['flows_per_sec']:,} flows/s  "
+        f"scaling_ratio={fabric['scaling_ratio']:.2f}  "
+        f"timers/flow={fabric['timers_armed_per_flow']:.2f}  "
+        f"peak_heap={fabric['peak_event_heap']}  "
+        f"live_timers_end={fabric['live_timers_end']}",
+    ]
+    return "\n".join(lines)

@@ -8,6 +8,11 @@
     python -m repro run --workload wordcount --files 4 --mb 10 --mode uplus
     python -m repro trace --rate 3 --minutes 5   # burst replay, stock vs MRapid
     python -m repro validate                # run the functional engine checks
+    python -m repro bench --quick           # perf benchmark -> BENCH_perf.json
+
+``figure``, ``report``, and ``bench`` accept ``--jobs N`` to fan independent
+data points out over N worker processes (default: all CPUs); results are
+byte-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -54,6 +59,12 @@ def cmd_figures(_args) -> int:
     return 0
 
 
+def _set_jobs(args) -> None:
+    from .experiments.parallel import set_default_jobs
+
+    set_default_jobs(getattr(args, "jobs", None))
+
+
 def cmd_figure(args) -> int:
     from .experiments.plots import render_figure
 
@@ -62,6 +73,7 @@ def cmd_figure(args) -> int:
         print(f"unknown figure {args.name!r}; try `python -m repro figures`",
               file=sys.stderr)
         return 2
+    _set_jobs(args)
     fig = builder()
     print(fig.render_table())
     print()
@@ -72,6 +84,7 @@ def cmd_figure(args) -> int:
 def cmd_report(args) -> int:
     from .experiments.report import generate_report
 
+    _set_jobs(args)
     text = generate_report()
     with open(args.output, "w") as f:
         f.write(text)
@@ -214,6 +227,22 @@ def cmd_tune(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Time the figure sweep (serial vs parallel) and the kernel/fabric."""
+    from .bench import format_report, run_bench
+
+    report = run_bench(quick=args.quick, jobs=args.jobs, repeat=args.repeat,
+                       output=args.output)
+    print(format_report(report))
+    if args.output:
+        print(f"wrote {args.output}")
+    if not report["sweep"]["identical"]:
+        print("ERROR: parallel figure output diverges from serial: "
+              f"{report['sweep']['divergent_figures']}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_validate(_args) -> int:
     from .workloads import (
         estimate_pi,
@@ -249,11 +278,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("figure", help="regenerate one figure")
     p.add_argument("name")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="worker processes for data points (default: all CPUs)")
     p.set_defaults(fn=cmd_figure)
 
     p = sub.add_parser("report", help="write the EXPERIMENTS.md report")
     p.add_argument("output", nargs="?", default="EXPERIMENTS.md")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="worker processes for data points (default: all CPUs)")
     p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("bench",
+                       help="benchmark sweep/kernel/fabric -> BENCH_perf.json")
+    p.add_argument("--quick", action="store_true",
+                   help="smaller figure subset and micro-bench sizes (CI smoke)")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="worker processes for the parallel sweep (default: all CPUs)")
+    p.add_argument("--repeat", type=int, default=1,
+                   help="timing rounds per sweep variant (min is reported)")
+    p.add_argument("--output", default="BENCH_perf.json",
+                   help="where to write the JSON report ('' to skip)")
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("run", help="run one job on a simulated cluster")
     p.add_argument("--workload", default="wordcount",

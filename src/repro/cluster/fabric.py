@@ -8,8 +8,24 @@ at most 1 core no matter how idle the node is).
 
 Whenever the flow set changes the fabric recomputes a max-min fair
 allocation by progressive filling and reschedules the next completion.
-Completions use versioned timers so stale wake-ups are ignored; the whole
-fabric is O(flows x links) per change, which is tiny at short-job scale.
+
+Two properties keep the hot path cheap and deterministic:
+
+* **Incremental state.** Link membership (which flows touch which links,
+  including the private per-flow cap links) is maintained across
+  ``submit``/``kill``/completion instead of being rebuilt inside every
+  reallocation, so a flow change costs O(active flows × links) for the
+  progressive filling itself and nothing for bookkeeping. ``flows_on`` and
+  ``utilization`` read the maintained index directly. All flow iteration is
+  in submission (sequence-number) order — never ``id()``-hash order — so an
+  allocation is bit-for-bit reproducible across processes.
+
+* **One live timer.** Completions use a generation-tagged wake-up timer and
+  at most one is live per fabric: if the wanted wake-up moves *later* the
+  existing timer is kept and simply re-armed when it fires early; only a
+  wake-up moving *earlier* arms a new timer (superseding the old one by
+  generation). The event heap therefore never accumulates per-change stale
+  timers, and a wake-up can never run the allocator twice.
 """
 
 from __future__ import annotations
@@ -33,7 +49,8 @@ class Flow:
     that already finished waiting are unaffected).
     """
 
-    __slots__ = ("fabric", "path", "size", "cap", "remaining", "rate", "last_update", "done", "label")
+    __slots__ = ("fabric", "path", "size", "cap", "remaining", "rate", "last_update",
+                 "done", "label", "seq", "links")
 
     def __init__(self, fabric: "SharedFabric", path: tuple[str, ...], size: float,
                  cap: Optional[float], label: str) -> None:
@@ -46,6 +63,10 @@ class Flow:
         self.last_update = fabric.env.now
         self.done: Event = fabric.env.event()
         self.label = label
+        #: Monotonic submission number; all fabric iteration orders key on it.
+        self.seq = 0
+        #: ``path`` plus the private cap link, if any (set on registration).
+        self.links: tuple[str, ...] = path
 
     @property
     def active(self) -> bool:
@@ -73,8 +94,20 @@ class SharedFabric:
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self._capacity: dict[str, float] = {}
-        self._flows: set[Flow] = set()
-        self._version = 0
+        #: Active flows in submission order (dict used as an ordered set).
+        self._flows: dict[Flow, None] = {}
+        self._flow_seq = 0
+        #: link id -> member flows in submission order (ordered set); covers
+        #: both real links and the private per-flow cap links.
+        self._link_members: dict[str, dict[Flow, None]] = {}
+        #: Private cap-link id -> cap, for flows currently registered.
+        self._private_caps: dict[str, float] = {}
+        # Wake-up management: at most one *live* timer per fabric.
+        self._wakeup_at = math.inf   # when the allocator wants to run next
+        self._timer_at = math.inf    # deadline of the live timer (inf = none)
+        self._timer_gen = 0          # identity of the live timer
+        #: Total timers ever armed (observability / benchmarks).
+        self.timers_armed = 0
 
     # -- topology -----------------------------------------------------------
     def add_link(self, link_id: str, capacity: float) -> None:
@@ -83,6 +116,7 @@ class SharedFabric:
         if link_id in self._capacity:
             raise ValueError(f"duplicate link {link_id!r}")
         self._capacity[link_id] = float(capacity)
+        self._link_members[link_id] = {}
 
     def set_capacity(self, link_id: str, capacity: float) -> None:
         """Change a link's capacity (e.g. hot-adding cores); reallocates."""
@@ -124,7 +158,7 @@ class SharedFabric:
             flow.done.succeed(self.env.now)
             return flow
         self._advance()
-        self._flows.add(flow)
+        self._register(flow)
         self._reallocate()
         return flow
 
@@ -133,7 +167,7 @@ class SharedFabric:
         if flow.done.triggered:
             return
         self._advance()
-        self._flows.discard(flow)
+        self._retire(flow)
         flow.done.fail(FlowKilled(flow.label))
         flow.done.defuse()
         self._reallocate()
@@ -143,12 +177,40 @@ class SharedFabric:
         return frozenset(self._flows)
 
     def flows_on(self, link_id: str) -> list[Flow]:
-        return [f for f in self._flows if link_id in f.path]
+        return list(self._link_members.get(link_id, ()))
 
     def utilization(self, link_id: str) -> float:
         """Fraction of a link's capacity currently allocated."""
-        used = sum(f.rate for f in self._flows if link_id in f.path)
+        used = sum(f.rate for f in self._link_members[link_id])
         return used / self._capacity[link_id]
+
+    # -- membership bookkeeping ----------------------------------------------
+    def _register(self, flow: Flow) -> None:
+        """Add a flow to the maintained link-membership index."""
+        self._flow_seq += 1
+        flow.seq = self._flow_seq
+        links = list(flow.path)
+        if flow.cap is not None:
+            private = f"__cap__{flow.seq}"
+            self._private_caps[private] = flow.cap
+            self._link_members[private] = {}
+            links.append(private)
+        flow.links = tuple(links)
+        self._flows[flow] = None
+        for link in flow.links:
+            self._link_members[link][flow] = None
+
+    def _retire(self, flow: Flow) -> None:
+        """Remove a flow (completed or killed) from the maintained index."""
+        self._flows.pop(flow, None)
+        for link in flow.path:
+            members = self._link_members.get(link)
+            if members is not None:
+                members.pop(flow, None)
+        if flow.cap is not None:
+            private = flow.links[-1]
+            self._private_caps.pop(private, None)
+            self._link_members.pop(private, None)
 
     # -- engine ---------------------------------------------------------------
     def _advance(self) -> None:
@@ -161,82 +223,100 @@ class SharedFabric:
 
     def _reallocate(self) -> None:
         """Progressive-filling max-min fair allocation, then retiming."""
-        self._version += 1
-        flows = list(self._flows)
-        if not flows:
+        if not self._flows:
+            self._wakeup_at = math.inf
             return
 
-        # Per-flow caps are modeled as private links.
         cap_left = dict(self._capacity)
-        link_members: dict[str, set[Flow]] = {}
-        for flow in flows:
-            members = list(flow.path)
-            if flow.cap is not None:
-                private = f"__cap__{id(flow)}"
-                cap_left[private] = flow.cap
-                members.append(private)
-            for link in members:
-                link_members.setdefault(link, set()).add(flow)
-        flow_links: dict[Flow, list[str]] = {
-            f: [l for l, m in link_members.items() if f in m] for f in flows
-        }
+        cap_left.update(self._private_caps)
 
-        unfrozen = set(flows)
+        unfrozen = set(self._flows)
         rates: dict[Flow, float] = {}
         while unfrozen:
-            # Fair headroom per still-active link.
-            bottleneck = None
+            # Fair headroom per still-active link; membership comes from the
+            # maintained index, in deterministic link/flow insertion order.
             bottleneck_share = math.inf
-            for link, members in link_members.items():
-                active = members & unfrozen
+            bottleneck_active: Optional[list[Flow]] = None
+            for link, members in self._link_members.items():
+                if not members:
+                    continue
+                active = [f for f in members if f in unfrozen]
                 if not active:
                     continue
                 share = cap_left[link] / len(active)
                 if share < bottleneck_share - _EPS:
                     bottleneck_share = share
-                    bottleneck = link
-            if bottleneck is None:  # pragma: no cover - defensive
+                    bottleneck_active = active
+            if bottleneck_active is None:  # pragma: no cover - defensive
                 break
-            for flow in list(link_members[bottleneck] & unfrozen):
+            for flow in bottleneck_active:
                 rates[flow] = bottleneck_share
                 unfrozen.discard(flow)
-                for link in flow_links[flow]:
+                for link in flow.links:
                     cap_left[link] = max(0.0, cap_left[link] - bottleneck_share)
 
-        earliest: Optional[Flow] = None
         earliest_t = math.inf
         now = self.env.now
-        for flow in flows:
+        for flow in self._flows:
             flow.rate = rates.get(flow, 0.0)
             if flow.rate > _EPS:
                 t = now + flow.remaining / flow.rate
                 if t < earliest_t:
                     earliest_t = t
-                    earliest = flow
-        if earliest is not None:
-            self._schedule_wakeup(earliest_t)
+        if math.isinf(earliest_t):
+            self._wakeup_at = math.inf
+        else:
+            self._request_wakeup(earliest_t)
 
-    def _schedule_wakeup(self, at: float) -> None:
-        version = self._version
-        delay = max(0.0, at - self.env.now)
-        timer = self.env.timeout(delay)
-        timer.callbacks.append(lambda ev: self._on_wakeup(version))
+    # -- wake-up timers --------------------------------------------------------
+    def _request_wakeup(self, at: float) -> None:
+        """Ask for the allocator to run at ``at``, coalescing timers.
 
-    def _on_wakeup(self, version: int) -> None:
-        if version != self._version:
-            return  # stale timer; allocation changed since it was set
+        A live timer that already fires at or before ``at`` is reused (it
+        re-arms itself if it turns out to be early); only an *earlier* wanted
+        wake-up arms a fresh timer, superseding the live one by generation.
+        """
+        self._wakeup_at = at
+        if self._timer_at <= at + _EPS:
+            return
+        self._arm(at)
+
+    def _arm(self, at: float) -> None:
+        self._timer_gen += 1
+        self.timers_armed += 1
+        gen = self._timer_gen
+        self._timer_at = at
+        timer = self.env.timeout(max(0.0, at - self.env.now))
+        timer.callbacks.append(lambda ev: self._on_wakeup(gen))
+
+    @property
+    def has_live_timer(self) -> bool:
+        return not math.isinf(self._timer_at)
+
+    def _on_wakeup(self, gen: int) -> None:
+        if gen != self._timer_gen:
+            return  # superseded by a newer (earlier) timer
+        self._timer_at = math.inf
+        if not self._flows or math.isinf(self._wakeup_at):
+            return
+        if self.env.now + _EPS < self._wakeup_at:
+            # Fired early: the wanted wake-up moved later (e.g. a submit
+            # diluted everyone's rate) since this timer was armed. Re-arm
+            # once at the current target — still at most one live timer, and
+            # exactly one allocator run per effective wake-up.
+            self._arm(self._wakeup_at)
+            return
+        self._wakeup_at = math.inf
         self._advance()
         finished = [f for f in self._flows if f.remaining <= _EPS]
         for flow in finished:
-            self._flows.discard(flow)
+            self._retire(flow)
             flow.remaining = 0.0
             flow.done.succeed(self.env.now)
+        # Retiming covers the numerical-drift case too: if nothing finished
+        # exactly, _reallocate re-requests a wake-up at the refreshed ETA, so
+        # no second (duplicate) drift timer is ever armed.
         self._reallocate()
-        if not finished and self._flows:
-            # Numerical drift: nothing finished exactly; re-arm on new ETAs.
-            etas = [f.eta() for f in self._flows if f.rate > _EPS]
-            if etas:
-                self._schedule_wakeup(min(etas))
 
 
 class FairShareDevice:

@@ -19,7 +19,7 @@ from ..mapreduce.appmaster import DistributedAM
 from ..mapreduce.spec import JobResult, SimJobSpec
 from ..simulation.errors import Interrupt
 from ..simulation.resources import Store
-from ..yarn.records import Application, Container, next_app_id, next_container_id
+from ..yarn.records import Application, Container
 from ..yarn.resourcemanager import AMContext
 from .uplus import UPlusAM
 
@@ -115,8 +115,8 @@ class SubmissionFramework:
                 if not candidates:
                     break  # pool smaller than configured; cluster too tight
                 node = candidates[0]
-            container = Container(next_container_id(), node.node_id, am_resource,
-                                  app_id="ampool")
+            container = Container(self.cluster.rm.next_container_id(), node.node_id,
+                                  am_resource, app_id="ampool")
             node.allocate(am_resource)
             slave = AMSlave(self, container)
             self.slaves.append(slave)
@@ -167,8 +167,8 @@ class SubmissionFramework:
             if not nodes:
                 break  # cluster too tight; pool stays smaller
             node = nodes[0]
-            container = Container(next_container_id(), node.node_id, am_resource,
-                                  app_id="ampool")
+            container = Container(self.cluster.rm.next_container_id(), node.node_id,
+                                  am_resource, app_id="ampool")
             node.allocate(am_resource)
             slave = AMSlave(self, container)
             self.slaves.append(slave)
@@ -209,7 +209,7 @@ class SubmissionFramework:
         env = self.cluster.env
         conf = self.cluster.conf
         rm = self.cluster.rm
-        app_id = next_app_id("mrapid")
+        app_id = rm.next_app_id("mrapid")
         result = JobResult(app_id=app_id, job_name=spec.name, mode=mode,
                            submit_time=env.now)
         handle.result = result
@@ -267,7 +267,7 @@ class SubmissionFramework:
         """Figure 1 path: allocate + launch a fresh AM for this job."""
         env = self.cluster.env
         conf = self.cluster.conf
-        app_id = next_app_id("mrapid")
+        app_id = self.cluster.rm.next_app_id("mrapid")
         result = JobResult(app_id=app_id, job_name=spec.name, mode=mode,
                            submit_time=env.now)
         handle.result = result

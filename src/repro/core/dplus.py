@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from ..cluster.topology import Locality
-from ..yarn.records import Container, ContainerRequest, NodeState, next_container_id
+from ..yarn.records import Container, ContainerRequest, NodeState
 from ..yarn.scheduler import PendingAsk, SchedulerBase
 from .cluster_resource import ClusterResource
 
@@ -127,7 +127,7 @@ class DPlusScheduler(SchedulerBase):
             if actual != level:
                 return None
         container = Container(
-            container_id=next_container_id(),
+            container_id=self.rm.next_container_id(),
             node_id=node.node_id,
             resource=request.resource,
             app_id=item.app_id,

@@ -8,6 +8,7 @@ of Table II and Figures 7-15.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from ..config import (
@@ -30,39 +31,64 @@ from .harness import (
     MRAPID_UPLUS,
     FigureResult,
     PaperClaim,
+    PointTask,
     Series,
     SpecBuilder,
     improvement_pct,
-    run_mode,
     sweep,
 )
 
 # -- input builders ------------------------------------------------------------
+#
+# Builders are module-level dataclasses (not closures) so a PointTask holding
+# one can be pickled to a parallel worker process.
+
+@dataclass(frozen=True)
+class WordCountInput:
+    num_files: int
+    file_mb: float
+
+    def __call__(self, cluster: SimCluster) -> SimJobSpec:
+        paths = cluster.load_input_files("/wc", self.num_files, self.file_mb)
+        return SimJobSpec("wordcount", tuple(paths), WORDCOUNT_PROFILE,
+                          signature=f"wc-{self.num_files}x{self.file_mb}")
+
+
+@dataclass(frozen=True)
+class TeraSortInput:
+    num_rows: int
+    num_files: int = 4
+
+    def __call__(self, cluster: SimCluster) -> SimJobSpec:
+        total_mb = rows_to_mb(self.num_rows)
+        paths = cluster.load_input_files("/ts", self.num_files,
+                                         total_mb / self.num_files)
+        return SimJobSpec("terasort", tuple(paths), TERASORT_PROFILE,
+                          signature=f"ts-{self.num_rows}")
+
+
+@dataclass(frozen=True)
+class PiInput:
+    total_samples: float
+    num_maps: int = 4
+
+    def __call__(self, cluster: SimCluster) -> SimJobSpec:
+        profile = pi_profile(self.total_samples, self.num_maps)
+        paths = cluster.load_input_files("/pi", self.num_maps, 0.01)
+        return SimJobSpec("pi", tuple(paths), profile,
+                          signature=f"pi-{self.total_samples:g}")
+
 
 def wordcount_input(num_files: int, file_mb: float) -> SpecBuilder:
-    def build(cluster: SimCluster) -> SimJobSpec:
-        paths = cluster.load_input_files("/wc", num_files, file_mb)
-        return SimJobSpec("wordcount", tuple(paths), WORDCOUNT_PROFILE,
-                          signature=f"wc-{num_files}x{file_mb}")
-    return build
+    return WordCountInput(num_files, file_mb)
 
 
 def terasort_input(num_rows: int, num_files: int = 4) -> SpecBuilder:
-    total_mb = rows_to_mb(num_rows)
-    def build(cluster: SimCluster) -> SimJobSpec:
-        paths = cluster.load_input_files("/ts", num_files, total_mb / num_files)
-        return SimJobSpec("terasort", tuple(paths), TERASORT_PROFILE,
-                          signature=f"ts-{num_rows}")
-    return build
+    return TeraSortInput(num_rows, num_files)
 
 
 def pi_input(total_samples: float, num_maps: int = 4) -> SpecBuilder:
-    profile = pi_profile(total_samples, num_maps)
-    def build(cluster: SimCluster) -> SimJobSpec:
-        paths = cluster.load_input_files("/pi", num_maps, 0.01)
-        return SimJobSpec("pi", tuple(paths), profile,
-                          signature=f"pi-{total_samples:g}")
-    return build
+    return PiInput(total_samples, num_maps)
 
 
 # -- Table II --------------------------------------------------------------------
@@ -94,8 +120,8 @@ def table2() -> FigureResult:
 def figure7(xs: Sequence[int] = (1, 2, 4, 8, 16)) -> FigureResult:
     cluster_spec = a3_cluster(4)
 
-    def point(mode: str, n_files: int) -> float:
-        return run_mode(mode, cluster_spec, wordcount_input(n_files, 10.0)).elapsed
+    def point(mode: str, n_files: int) -> PointTask:
+        return PointTask(mode, cluster_spec, wordcount_input(n_files, 10.0))
 
     fig = sweep("Figure 7", "WordCount, file size fixed at 10 MB", "#files",
                 xs, ALL_MODES, point)
@@ -132,8 +158,8 @@ def figure7(xs: Sequence[int] = (1, 2, 4, 8, 16)) -> FigureResult:
 def figure8(xs: Sequence[float] = (5.0, 10.0, 20.0, 40.0)) -> FigureResult:
     cluster_spec = a3_cluster(4)
 
-    def point(mode: str, file_mb: float) -> float:
-        return run_mode(mode, cluster_spec, wordcount_input(4, file_mb)).elapsed
+    def point(mode: str, file_mb: float) -> PointTask:
+        return PointTask(mode, cluster_spec, wordcount_input(4, file_mb))
 
     fig = sweep("Figure 8", "WordCount, number of files fixed at 4", "file MB",
                 xs, ALL_MODES, point)
@@ -156,9 +182,8 @@ def figure8(xs: Sequence[float] = (5.0, 10.0, 20.0, 40.0)) -> FigureResult:
 def figure9(xs: Sequence[int] = (2, 3, 4)) -> FigureResult:
     cluster_spec = a3_cluster(4)
 
-    def point(mode: str, n_files: int) -> float:
-        return run_mode(mode, cluster_spec,
-                        wordcount_input(n_files, 60.0 / n_files)).elapsed
+    def point(mode: str, n_files: int) -> PointTask:
+        return PointTask(mode, cluster_spec, wordcount_input(n_files, 60.0 / n_files))
 
     fig = sweep("Figure 9", "WordCount, total input fixed at 60 MB", "#files",
                 xs, ALL_MODES, point)
@@ -183,8 +208,8 @@ def figure10(xs: Sequence[int] = (100_000, 200_000, 400_000, 800_000, 1_600_000)
              ) -> FigureResult:
     cluster_spec = a3_cluster(4)
 
-    def point(mode: str, rows: int) -> float:
-        return run_mode(mode, cluster_spec, terasort_input(rows, num_files=4)).elapsed
+    def point(mode: str, rows: int) -> PointTask:
+        return PointTask(mode, cluster_spec, terasort_input(rows, num_files=4))
 
     fig = sweep("Figure 10", "TeraSort, 4 map tasks", "rows", xs, ALL_MODES, point)
     fig.claims = [
@@ -208,8 +233,8 @@ def figure11(xs: Sequence[float] = (100e6, 200e6, 400e6, 800e6, 1600e6)
              ) -> FigureResult:
     cluster_spec = a3_cluster(4)
 
-    def point(mode: str, samples: float) -> float:
-        return run_mode(mode, cluster_spec, pi_input(samples, num_maps=4)).elapsed
+    def point(mode: str, samples: float) -> PointTask:
+        return PointTask(mode, cluster_spec, pi_input(samples, num_maps=4))
 
     fig = sweep("Figure 11", "PI, 4 map tasks", "samples", xs, ALL_MODES, point)
     dist_beats_uber_past_200m = all(
@@ -235,9 +260,9 @@ def figure11(xs: Sequence[float] = (100e6, 200e6, 400e6, 800e6, 1600e6)
 def figure12(xs: Sequence[int] = (1, 2)) -> FigureResult:
     cluster_spec = a2_cluster(9)
 
-    def point(mode: str, containers_per_core: int) -> float:
+    def point(mode: str, containers_per_core: int) -> PointTask:
         conf = HadoopConfig(containers_per_core=containers_per_core)
-        return run_mode(mode, cluster_spec, wordcount_input(4, 10.0), conf=conf).elapsed
+        return PointTask(mode, cluster_spec, wordcount_input(4, 10.0), conf=conf)
 
     fig = sweep("Figure 12", "WordCount 4x10 MB, varying containers per core",
                 "containers/core", xs, ALL_MODES, point)
@@ -269,14 +294,18 @@ def figure13(xs: Sequence[int] = (4, 8, 16)) -> FigureResult:
     a3 = a3_cluster(4)   # 1 NN + 4 DN
     assert abs(a2.hourly_cost - a3.hourly_cost) < 1e-9
 
+    from .parallel import run_point_tasks
+
+    grid = [(f"{label} {cname}", cluster_spec, mode, n_files)
+            for mode, label in ((MRAPID_DPLUS, "D+"), (MRAPID_UPLUS, "U+"))
+            for cluster_spec, cname in ((a2, "A2x10"), (a3, "A3x5"))
+            for n_files in xs]
+    results = run_point_tasks(
+        [PointTask(mode, cluster_spec, wordcount_input(n_files, 10.0))
+         for _, cluster_spec, mode, n_files in grid])
     series: dict[str, Series] = {}
-    for mode, label in ((MRAPID_DPLUS, "D+"), (MRAPID_UPLUS, "U+")):
-        for cluster_spec, cname in ((a2, "A2x10"), (a3, "A3x5")):
-            s = Series(f"{label} {cname}")
-            for n_files in xs:
-                result = run_mode(mode, cluster_spec, wordcount_input(n_files, 10.0))
-                s.add(n_files, result.elapsed)
-            series[s.name] = s
+    for (name, _, _, n_files), result in zip(grid, results):
+        series.setdefault(name, Series(name)).add(n_files, result.elapsed)
 
     fig = FigureResult("Figure 13", "WordCount on equal-cost clusters", "#files",
                        series)
@@ -324,12 +353,18 @@ def ablation_contributions(mode: str, cluster_spec: ClusterSpec,
 
     contribution(f) = elapsed(all-on except f) - elapsed(all-on), normalized.
     """
-    full = run_mode(mode, cluster_spec, spec_builder, mrapid=MRapidConfig()).elapsed
-    deltas: dict[str, float] = {}
-    for label, overrides in features.items():
-        without = run_mode(mode, cluster_spec, spec_builder,
-                           mrapid=MRapidConfig(**overrides)).elapsed
-        deltas[label] = max(0.0, without - full)
+    from .parallel import run_point_tasks
+
+    tasks = [PointTask(mode, cluster_spec, spec_builder, mrapid=MRapidConfig())]
+    tasks += [PointTask(mode, cluster_spec, spec_builder,
+                        mrapid=MRapidConfig(**overrides))
+              for overrides in features.values()]
+    results = run_point_tasks(tasks)
+    full = results[0].elapsed
+    deltas: dict[str, float] = {
+        label: max(0.0, without.elapsed - full)
+        for label, without in zip(features, results[1:])
+    }
     total = sum(deltas.values())
     if total <= 0:
         return {label: 0.0 for label in features}

@@ -8,6 +8,7 @@ fully independent and deterministic.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
@@ -49,6 +50,22 @@ def run_mode(mode: str, cluster_spec: ClusterSpec, spec_builder: SpecBuilder,
     raise ValueError(f"unknown mode {mode!r}")
 
 
+def x_matches(a, b, rel_tol: float = 1e-9, abs_tol: float = 1e-12) -> bool:
+    """Whether two x-axis values denote the same data point.
+
+    Equal values always match; numeric values additionally match within a
+    small tolerance so an x computed as e.g. ``60.0 / n * n`` still finds the
+    cell recorded under ``60.0``. Non-numeric axes (table2's attribute names)
+    fall back to plain equality.
+    """
+    if a == b:
+        return True
+    try:
+        return math.isclose(float(a), float(b), rel_tol=rel_tol, abs_tol=abs_tol)
+    except (TypeError, ValueError):
+        return False
+
+
 @dataclass
 class Series:
     """One line of a figure: y seconds at each x."""
@@ -62,7 +79,14 @@ class Series:
         self.y.append(y)
 
     def at(self, x) -> float:
-        return self.y[self.x.index(x)]
+        """The y recorded at ``x`` (tolerance-aware for float axes)."""
+        for xi, yi in zip(self.x, self.y):
+            if x_matches(xi, x):
+                return yi
+        raise ValueError(f"series {self.name!r} has no point at x={x!r}")
+
+    def has(self, x) -> bool:
+        return any(x_matches(xi, x) for xi in self.x)
 
 
 @dataclass
@@ -99,9 +123,21 @@ class FigureResult:
         new = self.series[improved].at(x)
         return (base - new) / base * 100.0 if base else 0.0
 
+    def xs(self) -> list:
+        """Union of every series' x values, in first-seen order.
+
+        Ragged series (a mode skipped at some x) contribute their extra
+        points instead of crashing the renderer.
+        """
+        xs: list = []
+        for series in self.series.values():
+            for x in series.x:
+                if not any(x_matches(seen, x) for seen in xs):
+                    xs.append(x)
+        return xs
+
     # -- rendering ---------------------------------------------------------
-    def render_table(self) -> str:
-        xs = next(iter(self.series.values())).x
+    def render_table(self, missing: str = "-") -> str:
         names = list(self.series)
         widths = [max(len(self.x_label), 10)] + [max(len(n), 9) for n in names]
         lines = [f"{self.figure_id}: {self.title}"]
@@ -110,10 +146,12 @@ class FigureResult:
         )
         lines.append(header)
         lines.append("-" * len(header))
-        for i, x in enumerate(xs):
+        for x in self.xs():
             cells = [str(x).ljust(widths[0])]
             for name, w in zip(names, widths[1:]):
-                cells.append(f"{self.series[name].y[i]:.1f}".rjust(w))
+                series = self.series[name]
+                cell = f"{series.at(x):.1f}" if series.has(x) else missing
+                cells.append(cell.rjust(w))
             lines.append("  ".join(cells))
         if self.claims:
             lines.append("")
@@ -130,13 +168,54 @@ class FigureResult:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class PointTask:
+    """A picklable description of one ``run_mode`` data point.
+
+    Figures describe their grid as tasks instead of running each point
+    inline; the parallel runner (:mod:`repro.experiments.parallel`) can then
+    fan independent points out over worker processes and reassemble results
+    in task order, so output is identical to the serial path.
+    """
+
+    mode: str
+    cluster_spec: ClusterSpec
+    spec_builder: SpecBuilder
+    conf: Optional[HadoopConfig] = None
+    mrapid: Optional[MRapidConfig] = None
+    seed: int = 7
+
+    def run(self) -> JobResult:
+        return run_mode(self.mode, self.cluster_spec, self.spec_builder,
+                        conf=self.conf, mrapid=self.mrapid, seed=self.seed)
+
+
 def sweep(figure_id: str, title: str, x_label: str, xs: Sequence,
-          modes: Sequence[str], point: Callable[[str, object], float]) -> FigureResult:
-    """Generic sweep: ``point(mode, x)`` -> seconds."""
+          modes: Sequence[str], point: Callable[[str, object], object],
+          jobs: Optional[int] = None) -> FigureResult:
+    """Generic sweep over ``point(mode, x)``.
+
+    ``point`` may return either seconds directly (legacy serial style) or a
+    :class:`PointTask`; tasks are executed through the parallel runner with
+    ``jobs`` workers (``None`` = the runner's configured default) and results
+    are reassembled in grid order, so the figure is byte-identical however
+    many workers ran it.
+    """
     series = {mode: Series(mode) for mode in modes}
-    for x in xs:
-        for mode in modes:
-            series[mode].add(x, point(mode, x))
+    grid = [(x, mode, point(mode, x)) for x in xs for mode in modes]
+    tasks = [p for (_, _, p) in grid if isinstance(p, PointTask)]
+    if tasks:
+        if len(tasks) != len(grid):
+            raise TypeError(
+                f"{figure_id}: point() must return all PointTasks or all floats")
+        from .parallel import run_point_tasks
+
+        results = run_point_tasks(tasks, jobs=jobs)
+        for (x, mode, _), result in zip(grid, results):
+            series[mode].add(x, result.elapsed)
+    else:
+        for x, mode, y in grid:
+            series[mode].add(x, y)
     return FigureResult(figure_id, title, x_label, series)
 
 

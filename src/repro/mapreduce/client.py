@@ -9,7 +9,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Generator
 
 from ..cluster.resources import ResourceVector
-from ..yarn.records import Application, next_app_id
+from ..yarn.records import Application
 from .appmaster import DistributedAM
 from .spec import JobResult, SimJobSpec
 from .uber import UberAM
@@ -69,7 +69,7 @@ class JobClient:
     def _run(self, spec: SimJobSpec, mode: str, queue: str | None = None) -> Generator:
         env = self.cluster.env
         conf = self.cluster.conf
-        app_id = next_app_id()
+        app_id = self.cluster.rm.next_app_id()
         result = JobResult(app_id=app_id, job_name=spec.name, mode=mode,
                            submit_time=env.now)
 

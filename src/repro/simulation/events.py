@@ -213,11 +213,21 @@ class Process(Event):
                 return
 
             if not isinstance(next_event, Event):
-                env._active_proc = None
-                self._generator.throw(
-                    TypeError(f"process {self.name!r} yielded non-event {next_event!r}")
+                # Deliver the mistake as a failed pseudo-event so the normal
+                # resume path throws it at the faulty yield. Whatever the
+                # generator does next — propagate (process fails), return
+                # (process succeeds), or recover by yielding a real event —
+                # the process event is resolved; a bare ``throw`` here could
+                # leave the process pending forever if the generator caught
+                # the exception.
+                bad_yield = Event(env)
+                bad_yield._ok = False
+                bad_yield._value = TypeError(
+                    f"process {self.name!r} yielded non-event {next_event!r}"
                 )
-                return
+                bad_yield._defused = True
+                event = bad_yield
+                continue
 
             if next_event.callbacks is not None:
                 # Event still pending or triggered-but-unprocessed: wait on it.

@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING, Generator, Optional, Sequence
 from ..cluster.resources import ResourceVector
 from ..mapreduce.tasks import wait_flow
 from ..simulation.resources import Resource
-from ..yarn.records import Application, Container, ContainerRequest, next_app_id, next_container_id
+from ..yarn.records import Application, Container, ContainerRequest
 from .dag import SparkResult, SparkStage, StageResult, validate_dag
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -95,8 +95,8 @@ class SparkLiteRunner:
                 state = next((s for s in states if s.can_fit(demand)), None)
                 if state is None:
                     break
-            container = Container(next_container_id(), state.node_id, demand,
-                                  app_id="sparklite-pool")
+            container = Container(self.cluster.rm.next_container_id(), state.node_id,
+                                  demand, app_id="sparklite-pool")
             state.allocate(demand)
             executors.append(SparkExecutor(self.cluster, container,
                                            self.executor_vcores,
@@ -120,7 +120,7 @@ class SparkLiteRunner:
         env = self.cluster.env
         conf = self.cluster.conf
         rm = self.cluster.rm
-        app_id = next_app_id("spark")
+        app_id = rm.next_app_id("spark")
         result = SparkResult(app_id=app_id, submit_time=env.now,
                              warm_start=self.warm_pool,
                              num_executors=self.num_executors)

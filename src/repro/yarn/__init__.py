@@ -1,7 +1,7 @@
 """Simulated YARN: ResourceManager, NodeManagers, schedulers, records."""
 
 from .nodemanager import NodeManager
-from .records import Application, Container, ContainerRequest, NodeState, next_app_id
+from .records import Application, Container, ContainerRequest, IdAllocator, NodeState
 from .resourcemanager import AMContext, JobKilled, ResourceManager
 from .scheduler import CapacityScheduler, PendingAsk, SchedulerBase
 from .queues import MultiTenantCapacityScheduler, QueueConfig, QueueState
@@ -12,6 +12,7 @@ __all__ = [
     "CapacityScheduler",
     "Container",
     "ContainerRequest",
+    "IdAllocator",
     "JobKilled",
     "MultiTenantCapacityScheduler",
     "NodeManager",
@@ -21,5 +22,4 @@ __all__ = [
     "QueueState",
     "ResourceManager",
     "SchedulerBase",
-    "next_app_id",
 ]

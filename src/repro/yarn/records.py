@@ -103,16 +103,28 @@ class NodeState:
         self.used_vcores -= amount.vcores
 
 
-_app_ids = itertools.count(1)
-_container_ids = itertools.count(1)
+class IdAllocator:
+    """Per-cluster application/container id source.
 
+    Ids must not come from process-wide counters: a simulation's ids — and
+    any downstream ordering that keys on them — would then depend on how
+    many jobs *earlier* runs in the same process had created, so the same
+    experiment could produce different results on its second invocation.
+    Each ResourceManager owns one allocator, making every fresh cluster
+    start at app_0001 / container 1 regardless of process history.
+    """
 
-def next_app_id(prefix: str = "app") -> str:
-    return f"{prefix}_{next(_app_ids):04d}"
+    __slots__ = ("_apps", "_containers")
 
+    def __init__(self) -> None:
+        self._apps = itertools.count(1)
+        self._containers = itertools.count(1)
 
-def next_container_id() -> int:
-    return next(_container_ids)
+    def next_app_id(self, prefix: str = "app") -> str:
+        return f"{prefix}_{next(self._apps):04d}"
+
+    def next_container_id(self) -> int:
+        return next(self._containers)
 
 
 @dataclass

@@ -16,7 +16,7 @@ from typing import TYPE_CHECKING, Any, Generator, Optional
 from ..cluster.resources import ResourceVector
 from ..simulation.errors import Interrupt
 from ..simulation.monitor import EventLog
-from .records import Application, Container, ContainerRequest, NodeState, next_container_id
+from .records import Application, Container, ContainerRequest, IdAllocator, NodeState
 from .scheduler import SchedulerBase
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -34,6 +34,7 @@ class ResourceManager:
         self.scheduler = scheduler
         self.conf = conf
         self.log = log if log is not None else EventLog()
+        self.ids = IdAllocator()
         scheduler.bind(self)
 
         self.nodes: dict[str, NodeState] = {}
@@ -57,6 +58,12 @@ class ResourceManager:
         self.node_lost_listeners: list[Any] = []
 
     # -- wiring ---------------------------------------------------------------
+    def next_app_id(self, prefix: str = "app") -> str:
+        return self.ids.next_app_id(prefix)
+
+    def next_container_id(self) -> int:
+        return self.ids.next_container_id()
+
     def register_node_manager(self, nm: "NodeManager") -> None:
         self.node_managers[nm.node_id] = nm
 
@@ -139,7 +146,7 @@ class ResourceManager:
         memory_only = getattr(self.scheduler, "memory_only", False)
         for app in list(self._am_queue):
             if node.can_fit(app.am_resource, memory_only=memory_only):
-                container = Container(next_container_id(), node_id, app.am_resource, app.app_id)
+                container = Container(self.next_container_id(), node_id, app.am_resource, app.app_id)
                 node.allocate(app.am_resource, memory_only=memory_only)
                 app.am_container = container
                 self._am_queue.remove(app)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from .records import Container, ContainerRequest, NodeState, next_container_id
+from .records import Container, ContainerRequest, NodeState
 
 if TYPE_CHECKING:  # pragma: no cover
     from .resourcemanager import ResourceManager
@@ -71,7 +71,7 @@ class SchedulerBase:
     def _grant(self, pending: PendingAsk, node: NodeState,
                memory_only: bool = False) -> Container:
         container = Container(
-            container_id=next_container_id(),
+            container_id=self.rm.next_container_id(),
             node_id=node.node_id,
             resource=pending.request.resource,
             app_id=pending.app_id,

@@ -331,3 +331,114 @@ def test_property_fabric_survives_random_kill_interleavings(script, capacity):
         else:
             assert flow.done.ok
     assert all(u <= capacity * (1 + 1e-6) for u in over)
+
+
+# -- wake-up timer discipline --------------------------------------------------
+
+def _count_armed_timers(env):
+    """Monkeypatch env.timeout so every timer the fabric arms is recorded."""
+    armed = []
+    orig_timeout = env.timeout
+
+    def counting_timeout(delay, value=None):
+        armed.append(env.now + delay)
+        return orig_timeout(delay, value)
+
+    env.timeout = counting_timeout
+    return armed
+
+
+def test_drift_wakeup_does_not_arm_duplicate_timer():
+    """Regression: when a wake-up fires but numerical drift left a hair of
+    work, exactly one follow-up timer may be armed — the drift re-arm must
+    not double up with the one retiming already scheduled."""
+    env = Environment()
+    fabric = SharedFabric(env)
+    fabric.add_link("l", 10.0)
+    armed = _count_armed_timers(env)
+    flow = fabric.submit(("l",), 100.0)  # arms the wake-up at t=10
+    # Inject drift: at t=10 the flow will still have 100 units left, so the
+    # wake-up finds nothing finished and must retime to t=20 — once.
+    flow.remaining = 200.0
+    env.run()
+    assert flow.done.value == pytest.approx(20.0)
+    assert armed == [pytest.approx(10.0), pytest.approx(20.0)]
+
+
+def test_submissions_coalesce_to_a_single_live_timer():
+    """A burst of submissions leaves one live timer, not one per change.
+
+    Four equal flows submitted back-to-back: the first submit arms a timer;
+    the later submits only push the wanted wake-up later, which reuses the
+    armed timer (it re-arms itself once when it fires early). Total timers:
+    2, where the per-change scheme armed 4."""
+    env = Environment()
+    fabric = SharedFabric(env)
+    fabric.add_link("l", 10.0)
+    armed = _count_armed_timers(env)
+    flows = [fabric.submit(("l",), 40.0) for _ in range(4)]
+    assert len(armed) == 1  # the burst coalesced onto the first timer
+    env.run()
+    for f in flows:
+        assert f.done.value == pytest.approx(16.0)
+    assert len(armed) == 2
+    assert not fabric.has_live_timer
+
+
+def test_kill_of_earliest_flow_supersedes_timer():
+    """Killing the flow whose completion the timer tracks arms an earlier
+    replacement and the superseded timer is ignored when it fires."""
+    env = Environment()
+    fabric = SharedFabric(env)
+    fabric.add_link("l", 10.0)
+    short = fabric.submit(("l",), 10.0)   # with sharing: done at t=2... killed
+    long = fabric.submit(("l",), 100.0)
+
+    def killer(env):
+        yield env.timeout(1.0)
+        fabric.kill(short)
+
+    env.process(killer(env))
+    env.run()
+    assert not short.done.ok
+    # long: 1s at 5/s = 5 done, 95 left at 10/s -> 1 + 9.5 = 10.5.
+    assert long.done.value == pytest.approx(10.5)
+    assert not fabric.has_live_timer
+
+
+def test_flows_on_and_utilization_use_maintained_index():
+    env = Environment()
+    fabric = SharedFabric(env)
+    fabric.add_link("a", 10.0)
+    fabric.add_link("b", 10.0)
+    f1 = fabric.submit(("a",), 30.0)
+    f2 = fabric.submit(("a", "b"), 30.0)
+    assert fabric.flows_on("a") == [f1, f2]  # submission order
+    assert fabric.flows_on("b") == [f2]
+    assert fabric.flows_on("missing") == []
+    assert fabric.utilization("a") == pytest.approx(1.0)
+    assert fabric.utilization("b") == pytest.approx(0.5)
+    env.run()
+    assert fabric.flows_on("a") == []
+    assert fabric.utilization("a") == 0.0
+
+
+def test_retired_flows_leave_no_bookkeeping_behind():
+    """Completion and kill both fully unregister flows (members, caps)."""
+    env = Environment()
+    fabric = SharedFabric(env)
+    fabric.add_link("l", 10.0)
+    done = [fabric.submit(("l",), 5.0, cap=2.0) for _ in range(3)]
+    victim = fabric.submit(("l",), 500.0, cap=1.0)
+
+    def killer(env):
+        yield env.timeout(1.0)
+        fabric.kill(victim)
+
+    env.process(killer(env))
+    env.run()
+    for f in done:
+        assert f.done.ok
+    assert not fabric.active_flows
+    assert fabric._private_caps == {}
+    assert all(not members for members in fabric._link_members.values())

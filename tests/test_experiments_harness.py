@@ -255,3 +255,58 @@ def test_figure_markdown_includes_notes():
     text = figure_markdown(fig)
     assert "| verdict |" in text
     assert "a caveat" in text
+
+
+# -- ragged figures and tolerance-aware lookups --------------------------------
+
+def ragged_figure():
+    """A mode that skipped one x: series lengths differ."""
+    full = Series("Full", [1, 2, 4], [10.0, 20.0, 40.0])
+    ragged = Series("Skips", [1, 4], [9.0, 39.0])
+    extra = Series("Extra", [1, 2, 4, 8], [8.0, 18.0, 38.0, 78.0])
+    return FigureResult("Fig R", "ragged", "n",
+                        {"Full": full, "Skips": ragged, "Extra": extra})
+
+
+def test_render_table_aligns_ragged_series_by_x():
+    """Regression: render_table used to index every series with the first
+    series' positions — IndexError as soon as one mode skipped an x."""
+    table = ragged_figure().render_table()
+    rows = {line.split()[0]: line for line in table.splitlines()[3:]}
+    # All four xs present (union, first-seen order), missing cells dashed.
+    assert list(rows) == ["1", "2", "4", "8"]
+    assert "-" in rows["2"] and "39.0" in rows["4"]
+    assert rows["8"].count("-") == 2  # Full and Skips both miss x=8
+    assert "78.0" in rows["8"]
+
+
+def test_report_markdown_aligns_ragged_series_by_x():
+    from repro.experiments.report import figure_markdown
+
+    md = figure_markdown(ragged_figure())
+    assert "| 8 | - | - | 78.0 |" in md
+
+
+def test_series_at_uses_float_tolerance():
+    """Regression: Series.at used exact list .index — 0.1 + 0.2 missed the
+    cell recorded at 0.3."""
+    s = Series("t", [0.3, 15.0], [1.0, 2.0])
+    assert s.at(0.1 + 0.2) == 1.0
+    assert s.at(15.000000000001) == 2.0
+    assert s.has(0.1 + 0.2)
+    assert not s.has(0.4)
+    with pytest.raises(ValueError):
+        s.at(99)
+
+
+def test_series_at_non_numeric_axis_matches_exactly():
+    s = Series("attrs", ["cores", "memory_gb"], [4.0, 7.0])
+    assert s.at("cores") == 4.0
+    with pytest.raises(ValueError):
+        s.at("disk_gb")
+
+
+def test_render_table_unchanged_for_rectangular_figures():
+    table = toy_figure().render_table()
+    assert "10.0" in table and "25.0" in table
+    assert "-" not in table.splitlines()[-1]

@@ -1,0 +1,223 @@
+"""Kernel edge paths: non-event yields, late interrupts, run(until=...) on
+already-processed events, empty conditions, and zero-size fabric flows.
+
+The first block is the regression suite for the silent-hang bug: a process
+that yielded a non-event and *caught* the resulting ``TypeError`` used to
+stay pending forever, hanging everything that waited on it.
+"""
+
+import pytest
+
+from repro.cluster import SharedFabric
+from repro.simulation import Environment
+from repro.simulation.errors import Interrupt, SimulationError
+
+
+# -- non-event yields ----------------------------------------------------------
+
+def test_non_event_yield_uncaught_fails_process():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    env.process(bad(env))
+    with pytest.raises(TypeError):
+        env.run()
+
+
+def test_non_event_yield_caught_and_returned_resolves_process():
+    """Generator catches the TypeError and returns: the process must succeed
+    (pre-fix: a raw StopIteration escaped the kernel)."""
+    env = Environment()
+
+    def resilient(env):
+        try:
+            yield "not an event"
+        except TypeError:
+            return "recovered"
+        return "unreachable"  # pragma: no cover
+
+    p = env.process(resilient(env))
+    env.run()
+    assert p.triggered and p.ok
+    assert p.value == "recovered"
+
+
+def test_non_event_yield_caught_then_real_yield_does_not_hang_waiters():
+    """Generator catches the TypeError and resumes with a real event.
+
+    Pre-fix the kernel discarded the recovery yield and the process stayed
+    pending forever — anything yielding on it hung silently.
+    """
+    env = Environment()
+
+    def resilient(env):
+        try:
+            yield object()
+        except TypeError:
+            yield env.timeout(3.0)
+        return env.now
+
+    def waiter(env, target):
+        value = yield target
+        return value
+
+    p = env.process(resilient(env))
+    w = env.process(waiter(env, p))
+    env.run()
+    assert not p.is_alive, "process hung after recovering from a bad yield"
+    assert p.value == pytest.approx(3.0)
+    assert w.value == pytest.approx(3.0)
+
+
+def test_non_event_yield_caught_and_reraised_fails_process():
+    env = Environment()
+
+    class Custom(Exception):
+        pass
+
+    def reraiser(env):
+        try:
+            yield 3.14
+        except TypeError as exc:
+            raise Custom("wrapped") from exc
+
+    p = env.process(reraiser(env))
+    with pytest.raises(Custom):
+        env.run()
+    assert p.triggered and not p.ok
+
+
+# -- interrupting around an already-triggered target ---------------------------
+
+def test_interrupt_process_whose_target_already_triggered():
+    """Interrupt delivered at the same instant the awaited event succeeds:
+    the (urgent) interrupt wins and the process detaches from the event."""
+    env = Environment()
+    gate = env.event()
+
+    def victim(env):
+        try:
+            yield gate
+            return "normal"
+        except Interrupt as intr:
+            return f"interrupted:{intr.cause}"
+
+    p = env.process(victim(env))
+
+    def attacker(env):
+        yield env.timeout(1.0)
+        gate.succeed("opened")
+        p.interrupt("now")
+
+    env.process(attacker(env))
+    env.run()
+    assert p.value == "interrupted:now"
+    assert gate.processed  # the abandoned event still drained normally
+
+
+def test_interrupt_dead_process_is_an_error():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(0.5)
+
+    p = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt("too late")
+
+
+# -- run(until=...) edge cases -------------------------------------------------
+
+def test_run_until_already_processed_event_returns_value_immediately():
+    env = Environment()
+    t = env.timeout(2.0, value="done")
+    env.run(until=t)
+    assert env.now == pytest.approx(2.0)
+    # Running again to the same (processed) event is a no-op returning its
+    # value without advancing the clock.
+    assert env.run(until=t) == "done"
+    assert env.now == pytest.approx(2.0)
+
+
+def test_run_until_already_processed_failed_event_raises():
+    env = Environment()
+    boom = env.event()
+
+    def failer(env):
+        yield env.timeout(1.0)
+        boom.fail(RuntimeError("kaput"))
+        boom.defuse()
+
+    env.process(failer(env))
+    env.run()
+    assert boom.processed and not boom.ok
+    with pytest.raises(RuntimeError):
+        env.run(until=boom)
+
+
+# -- empty conditions ----------------------------------------------------------
+
+def test_anyof_over_empty_iterable_succeeds_immediately():
+    env = Environment()
+    cond = env.any_of([])
+    assert cond.triggered and cond.ok
+    value = env.run(until=cond)
+    assert value == {}
+
+
+def test_allof_over_empty_iterable_succeeds_immediately():
+    env = Environment()
+    cond = env.all_of([])
+    assert env.run(until=cond) == {}
+
+
+# -- zero-size fabric submissions ----------------------------------------------
+
+def test_zero_size_submit_completes_through_queue_in_order():
+    """A zero-size flow triggers immediately but its callbacks run through
+    the event queue, after events already scheduled at the same time."""
+    env = Environment()
+    fabric = SharedFabric(env)
+    fabric.add_link("l", 10.0)
+    order = []
+
+    first = env.event()
+    first.succeed("pre")
+    first.callbacks.append(lambda ev: order.append("pre-scheduled"))
+
+    flow = fabric.submit(("l",), 0.0)
+    assert flow.done.triggered  # value available right away...
+    flow.done.callbacks.append(lambda ev: order.append("zero-flow"))
+
+    def waiter(env):
+        at = yield flow.done
+        order.append("waiter")
+        return at
+
+    p = env.process(waiter(env))
+    env.run()
+    assert p.value == pytest.approx(0.0)
+    # ...but processing respected queue insertion order.
+    assert order == ["pre-scheduled", "zero-flow", "waiter"]
+
+
+def test_zero_size_submit_does_not_perturb_active_flows():
+    env = Environment()
+    fabric = SharedFabric(env)
+    fabric.add_link("l", 10.0)
+    busy = fabric.submit(("l",), 50.0)
+
+    def noise(env):
+        yield env.timeout(1.0)
+        for _ in range(5):
+            fabric.submit(("l",), 0.0)
+
+    env.process(noise(env))
+    env.run()
+    # The zero-size bursts never joined the allocation: full capacity stayed
+    # with the busy flow, which finishes exactly on schedule.
+    assert busy.done.value == pytest.approx(5.0)
+    assert not fabric.active_flows
