@@ -7,6 +7,8 @@
     python -m repro report [out.md]         # full EXPERIMENTS.md
     python -m repro run --workload wordcount --files 4 --mb 10 --mode uplus
     python -m repro trace --rate 3 --minutes 5   # burst replay, stock vs MRapid
+    python -m repro profile --workload wordcount --mode stock
+                                            # span-trace ONE job -> Perfetto
     python -m repro validate                # run the functional engine checks
     python -m repro bench --quick           # perf benchmark -> BENCH_perf.json
 
@@ -48,8 +50,10 @@ def _all_figures() -> dict:
     from .experiments import ALL_FIGURES
     from .experiments.chaos import CHAOS_FIGURES
     from .experiments.extended import EXTENDED_FIGURES
+    from .experiments.overhead import OBSERVE_FIGURES
 
-    return {**ALL_FIGURES, **EXTENDED_FIGURES, **CHAOS_FIGURES}
+    return {**ALL_FIGURES, **EXTENDED_FIGURES, **CHAOS_FIGURES,
+            **OBSERVE_FIGURES}
 
 
 def cmd_figures(_args) -> int:
@@ -124,6 +128,13 @@ def cmd_run(args) -> int:
     else:
         raise SystemExit(f"unknown mode {args.mode!r}")
 
+    if args.json:
+        from .history import JobHistoryServer
+
+        server = JobHistoryServer()
+        server.record(result)
+        print(server.to_json())
+        return 0
     print(f"job      : {result.job_name} [{result.mode}]")
     print(f"elapsed  : {result.elapsed:.2f}s  (AM overhead {result.am_overhead:.2f}s, "
           f"{result.num_waves} wave(s))")
@@ -212,6 +223,38 @@ def cmd_chaos(args) -> int:
                            for t, kind, victim in point.timeline) or "none"
         print(f"{mode:20s} {point.elapsed:7.2f}s  "
               f"resubmits={point.resubmits}  faults: {faults}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """Run one traced job; print the overhead breakdown + Gantt, write traces.
+
+    Not to be confused with ``repro trace``, which *replays a workload
+    trace* (a Poisson arrival schedule of many jobs); ``profile`` runs a
+    single job with the :mod:`repro.observe` span tracer attached and
+    attributes its runtime to overhead classes.
+    """
+    import json
+
+    from .observe import run_profiled, validate_trace_events
+
+    report = run_profiled(args.workload, args.mode, num_files=args.files,
+                          file_mb=args.mb, seed=args.seed)
+    print(report.render())
+
+    perfetto = report.to_perfetto()
+    problems = validate_trace_events(perfetto)
+    if problems:
+        for problem in problems[:10]:
+            print(f"trace validation: {problem}", file=sys.stderr)
+        return 1
+    with open(args.output, "w") as f:
+        json.dump(perfetto, f, indent=1)
+    breakdown_path = args.breakdown
+    with open(breakdown_path, "w") as f:
+        json.dump(report.breakdown_dict(), f, indent=2)
+    print(f"\nwrote {args.output} (load in ui.perfetto.dev or "
+          f"chrome://tracing) and {breakdown_path}")
     return 0
 
 
@@ -310,6 +353,8 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["distributed", "uber", "auto", "dplus", "uplus",
                             "speculative"])
     p.add_argument("--cluster", default="a3", choices=["a3", "a2"])
+    p.add_argument("--json", action="store_true",
+                   help="print the history-server phase breakdown as JSON")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("trace", help="replay a bursty short-job trace")
@@ -335,6 +380,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "MRapid-U+", "MRapid-Speculative"])
     p.add_argument("--seed", type=int, default=17)
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser(
+        "profile",
+        help="trace one job: overhead breakdown, Gantt, Perfetto JSON")
+    p.add_argument("--workload", default="wordcount",
+                   choices=["wordcount", "terasort", "pi"])
+    p.add_argument("--mode", default="stock",
+                   choices=["stock", "distributed", "uber", "dplus", "uplus"])
+    p.add_argument("--files", type=int, default=4)
+    p.add_argument("--mb", type=float, default=10.0)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--output", default="profile.perfetto.json",
+                   help="Chrome trace-event JSON path")
+    p.add_argument("--breakdown", default="profile.breakdown.json",
+                   help="machine-readable attribution JSON path")
+    p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser("tune", help="auto-tune U+ maps-per-vcore by simulation")
     p.add_argument("--files", type=int, default=8)

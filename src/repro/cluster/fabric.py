@@ -50,7 +50,7 @@ class Flow:
     """
 
     __slots__ = ("fabric", "path", "size", "cap", "remaining", "rate", "last_update",
-                 "done", "label", "seq", "links")
+                 "done", "label", "seq", "links", "submitted_at")
 
     def __init__(self, fabric: "SharedFabric", path: tuple[str, ...], size: float,
                  cap: Optional[float], label: str) -> None:
@@ -61,6 +61,7 @@ class Flow:
         self.remaining = float(size)
         self.rate = 0.0
         self.last_update = fabric.env.now
+        self.submitted_at = fabric.env.now
         self.done: Event = fabric.env.event()
         self.label = label
         #: Monotonic submission number; all fabric iteration orders key on it.
@@ -309,10 +310,19 @@ class SharedFabric:
         self._wakeup_at = math.inf
         self._advance()
         finished = [f for f in self._flows if f.remaining <= _EPS]
+        tracer = self.env.tracer
         for flow in finished:
             self._retire(flow)
             flow.remaining = 0.0
             flow.done.succeed(self.env.now)
+            if tracer is not None:
+                from ..observe.tracer import CLUSTER
+                device = (flow.label.split(":", 1)[0] if ":" in flow.label
+                          else "net")
+                tracer.async_complete(flow.label, "flow", CLUSTER,
+                                      f"fabric:{device}", flow.submitted_at,
+                                      size=flow.size)
+                tracer.metrics.incr("fabric:flows_completed")
         # Retiming covers the numerical-drift case too: if nothing finished
         # exactly, _reallocate re-requests a wake-up at the refreshed ETA, so
         # no second (duplicate) drift timer is ever armed.

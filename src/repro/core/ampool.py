@@ -216,13 +216,27 @@ class SubmissionFramework:
 
         # Client: job id from HDFS, upload jar + conf, submit to proxy.
         yield env.timeout(conf.client_submit_s)
+        tracer = env.tracer
+        if tracer is not None:
+            from ..observe.tracer import CLUSTER
+            tracer.complete("client-submit", "submit", CLUSTER,
+                            f"job:{app_id}", result.submit_time, app_id=app_id)
 
         # Proxy: pick a warm AM (waits when the pool is empty).
+        t_pool = env.now
         slave = yield self.pool.get()
         slave.busy = True
+        if tracer is not None and env.now > t_pool:
+            from ..observe.tracer import CLUSTER
+            tracer.complete("am-pool-wait", "wait", CLUSTER, f"job:{app_id}",
+                            t_pool, slot=slave.slot_id)
         try:
             # Proxy -> AMSlave RPC carrying the job description.
+            t_rpc = env.now
             yield env.timeout(conf.rpc_latency_s)
+            if tracer is not None:
+                tracer.complete("proxy-rpc", "rpc", slave.node_id,
+                                f"am-{app_id}", t_rpc)
 
             app = Application(app_id=app_id, name=spec.name,
                               am_resource=slave.container.resource,
@@ -251,6 +265,10 @@ class SubmissionFramework:
                 rm.scheduler.remove_app(app_id)
                 rm.apps.pop(app_id, None)
                 rm._ready.pop(app_id, None)
+            if tracer is not None:
+                from ..observe.tracer import CLUSTER
+                tracer.complete(spec.name, "job", CLUSTER, f"job:{app_id}",
+                                result.submit_time, app_id=app_id, mode=mode)
             return final
         finally:
             # The AM survives the job and goes back to the pool — unless its
@@ -273,6 +291,11 @@ class SubmissionFramework:
         handle.result = result
 
         yield env.timeout(conf.client_submit_s)
+        if env.tracer is not None:
+            from ..observe.tracer import CLUSTER
+            env.tracer.complete("client-submit", "submit", CLUSTER,
+                                f"job:{app_id}", result.submit_time,
+                                app_id=app_id)
         am = self._make_am(spec, mode, result)
         app = Application(
             app_id=app_id,
@@ -288,4 +311,8 @@ class SubmissionFramework:
             result.killed = True
             result.finish_time = env.now
             return result
+        if env.tracer is not None:
+            from ..observe.tracer import CLUSTER
+            env.tracer.complete(spec.name, "job", CLUSTER, f"job:{app_id}",
+                                result.submit_time, app_id=app_id, mode=mode)
         return final

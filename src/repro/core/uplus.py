@@ -73,7 +73,11 @@ class UPlusAM:
         node_id = ctx.node_id
         self.result.am_start_time = env.now
         try:
+            t_init = env.now
             yield env.timeout(conf.am_init_s)
+            if env.tracer is not None:
+                env.tracer.complete("am-init", "init", node_id,
+                                    f"am-{ctx.app.app_id}", t_init)
 
             splits = compute_splits(self.cluster.namenode, self.spec.input_paths)
             n_maps = len(splits)
@@ -108,8 +112,12 @@ class UPlusAM:
                 # max_task_attempts like its distributed counterpart.
                 attempt = 0
                 while True:
+                    t_slot = env.now
                     with workers.request() as slot:
                         yield slot
+                        if env.tracer is not None and env.now > t_slot:
+                            env.tracer.complete("slot-wait", "wait", node_id,
+                                                f"m{idx:03d}", t_slot)
                         try:
                             record = (map_records[idx] if attempt == 0
                                       else TaskRecord(f"m{idx:03d}.a{attempt}", "map"))

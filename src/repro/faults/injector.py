@@ -68,9 +68,14 @@ class FaultInjector:
             raise TypeError(f"unknown fault event {event!r}")
 
     def _record(self, kind: str, victim: str) -> None:
-        now = self.cluster.env.now
+        env = self.cluster.env
+        now = env.now
         self.timeline.append((now, kind, victim))
         self.cluster.log.mark(now, "fault_injected", kind=kind, victim=victim)
+        if env.tracer is not None:
+            from ..observe.tracer import CLUSTER
+            env.tracer.instant(kind, "fault", CLUSTER, "faults", victim=victim)
+            env.tracer.metrics.incr(f"faults:{kind}")
 
     # -- event handlers -----------------------------------------------------
     def _crash(self, ev: NodeCrash) -> None:

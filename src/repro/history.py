@@ -8,6 +8,7 @@ breakdowns, and a text report — used by the examples and the trace analyses.
 
 from __future__ import annotations
 
+import json
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
@@ -38,6 +39,9 @@ class PhaseBreakdown:
     def dominant(self) -> str:
         return max(self.FIELDS, key=lambda f: getattr(self, f))
 
+    def to_dict(self) -> dict:
+        return {f: getattr(self, f) for f in self.FIELDS}
+
 
 @dataclass
 class ModeSummary:
@@ -56,6 +60,18 @@ class ModeSummary:
     @property
     def mean_am_overhead(self) -> float:
         return self.total_am_overhead / self.jobs if self.jobs else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "jobs": self.jobs,
+            "mean_elapsed_s": self.mean_elapsed,
+            "mean_am_overhead_s": self.mean_am_overhead,
+            "killed": self.killed,
+            "failed": self.failed,
+            "map_phase_mean_s": self.map_phase.to_dict(),
+            "dominant_map_phase": self.map_phase.dominant(),
+        }
 
 
 class JobHistoryServer:
@@ -122,6 +138,18 @@ class JobHistoryServer:
         return overhead / total if total else 0.0
 
     # -- reporting ----------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Machine-readable mirror of :meth:`report`, keyed by mode."""
+        return {
+            "jobs": len(self._results),
+            "overhead_fraction": self.overhead_fraction(),
+            "modes": {mode: summary.to_dict()
+                      for mode, summary in sorted(self.by_mode().items())},
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
     def report(self) -> str:
         lines = [f"job history: {len(self._results)} jobs"]
         for mode, summary in sorted(self.by_mode().items()):

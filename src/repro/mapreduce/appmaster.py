@@ -110,7 +110,11 @@ class DistributedAM:
         self._children = []
         try:
             # AM init: parse conf, download splits / jar from HDFS.
+            t_init = env.now
             yield env.timeout(conf.am_init_s)
+            if env.tracer is not None:
+                env.tracer.complete("am-init", "init", ctx.node_id,
+                                    f"am-{ctx.app.app_id}", t_init)
 
             splits = compute_splits(self.cluster.namenode, self.spec.input_paths)
             n_maps = len(splits)
@@ -236,6 +240,12 @@ class DistributedAM:
                             self.result.maps = map_records
                         record.phases.wait = env.now - ask_times[task_idx]
                         record.phases.launch = conf.container_launch_s
+                        if env.tracer is not None and record.phases.wait > 0:
+                            from ..observe.tracer import CLUSTER
+                            env.tracer.complete("grant-wait", "wait", CLUSTER,
+                                                record.task_id,
+                                                ask_times[task_idx],
+                                                placed_on=container.node_id)
                         body = sim_map_task(self.cluster, self.spec.profile,
                                             splits[task_idx], container.node_id,
                                             record, bus, conf.task_setup_s,

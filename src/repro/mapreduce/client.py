@@ -75,6 +75,11 @@ class JobClient:
 
         # Step 1 (Figure 1): get job id, upload splits/jar/conf, submit.
         yield env.timeout(conf.client_submit_s)
+        if env.tracer is not None:
+            from ..observe.tracer import CLUSTER
+            env.tracer.complete("client-submit", "submit", CLUSTER,
+                                f"job:{app_id}", result.submit_time,
+                                app_id=app_id)
 
         if mode == MODE_AUTO:
             mode = MODE_UBER if uber_eligible(self.cluster, spec) else MODE_DISTRIBUTED
@@ -101,4 +106,8 @@ class JobClient:
                 raise ValueError("queue routing needs the multi-tenant scheduler")
             assign(app_id, queue)
         final: JobResult = yield app.finished
+        if env.tracer is not None:
+            from ..observe.tracer import CLUSTER
+            env.tracer.complete(spec.name, "job", CLUSTER, f"job:{app_id}",
+                                result.submit_time, app_id=app_id, mode=mode)
         return final

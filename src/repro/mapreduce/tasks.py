@@ -142,6 +142,14 @@ class MemoryCache(Protocol):
     def try_reserve(self, mb: float) -> bool: ...  # pragma: no cover
 
 
+def _phase_span(env, record: TaskRecord, name: str, cat: str, start: float,
+                parent=None, **args) -> None:
+    """Retrospective phase span on the task's lane (no-op untraced)."""
+    if env.tracer is not None:
+        env.tracer.complete(name, cat, record.node_id, record.task_id, start,
+                            parent=parent, **args)
+
+
 def sim_map_task(cluster: "SimCluster", profile: WorkloadProfile, split: InputSplit,
                  node_id: str, record: TaskRecord, outputs: Store,
                  setup_s: float, memory_cache: Optional[MemoryCache] = None,
@@ -154,50 +162,68 @@ def sim_map_task(cluster: "SimCluster", profile: WorkloadProfile, split: InputSp
     record.start_time = env.now
     record.input_mb = split.length_mb
     record.locality = cluster.topology.locality(node_id, split.hosts)
-
-    # setup sub-phase
-    if setup_s > 0:
-        yield env.timeout(setup_s)
-    record.phases.setup = setup_s
-
-    # Injected transient failures surface here (deterministic per attempt).
-    # finish_time stays 0: an aborted attempt never advertises output.
-    if attempt_fails(profile, f"{split.path}#{split.split_index}#{record.task_id}"):
-        raise TransientTaskError(record.task_id)
-
-    # read sub-phase: s^i / d^o (possibly remote)
-    t = env.now
-    record.source_node = yield from read_split_interruptible(cluster, split, node_id)
-    record.phases.read = env.now - t
-
-    # map sub-phase: t^m on the contended CPU (with deterministic per-task
-    # data skew, as real record mixes are not uniform)
-    t = env.now
-    skew = task_skew_factor(profile, f"{split.path}#{split.split_index}")
-    cpu = node.cpu.compute(profile.map_cpu_s(split.length_mb) * skew,
-                           label=record.task_id)
-    yield from wait_flow(cpu)
-    record.phases.compute = env.now - t
-
-    # spill / merge sub-phases
-    out_mb = profile.map_output_mb(split.length_mb)
-    in_memory = False
-    if memory_cache is not None and out_mb > 0:
-        in_memory = memory_cache.try_reserve(out_mb)
-    if not in_memory and out_mb > 0:
-        t = env.now
-        yield from wait_flow(node.disk.write(out_mb, label="spill"))
-        record.phases.spill = env.now - t
-        if out_mb > conf.sort_buffer_mb:
-            # multiple spill files: one merge pass (read back + rewrite)
+    root = None
+    if env.tracer is not None:
+        root = env.tracer.begin(record.task_id, "task", node_id,
+                                record.task_id, split_mb=split.length_mb)
+    try:
+        # setup sub-phase
+        if setup_s > 0:
             t = env.now
-            yield from wait_flow(node.disk.read(out_mb, label="merge-read"))
-            yield from wait_flow(node.disk.write(out_mb, label="merge-write"))
-            record.phases.merge = env.now - t
+            yield env.timeout(setup_s)
+            _phase_span(env, record, "setup", "setup", t, parent=root)
+        record.phases.setup = setup_s
 
-    # Status/commit round-trips through the stock RM/umbilical path.
-    if commit_rpc_s > 0:
-        yield env.timeout(commit_rpc_s)
+        # Injected transient failures surface here (deterministic per
+        # attempt). finish_time stays 0: an aborted attempt never
+        # advertises output.
+        if attempt_fails(profile, f"{split.path}#{split.split_index}#{record.task_id}"):
+            raise TransientTaskError(record.task_id)
+
+        # read sub-phase: s^i / d^o (possibly remote)
+        t = env.now
+        record.source_node = yield from read_split_interruptible(cluster, split, node_id)
+        record.phases.read = env.now - t
+        _phase_span(env, record, "read", "read", t, parent=root,
+                    source=record.source_node)
+
+        # map sub-phase: t^m on the contended CPU (with deterministic per-task
+        # data skew, as real record mixes are not uniform)
+        t = env.now
+        skew = task_skew_factor(profile, f"{split.path}#{split.split_index}")
+        cpu = node.cpu.compute(profile.map_cpu_s(split.length_mb) * skew,
+                               label=record.task_id)
+        yield from wait_flow(cpu)
+        record.phases.compute = env.now - t
+        _phase_span(env, record, "map", "compute", t, parent=root)
+
+        # spill / merge sub-phases
+        out_mb = profile.map_output_mb(split.length_mb)
+        in_memory = False
+        if memory_cache is not None and out_mb > 0:
+            in_memory = memory_cache.try_reserve(out_mb)
+        if not in_memory and out_mb > 0:
+            t = env.now
+            yield from wait_flow(node.disk.write(out_mb, label="spill"))
+            record.phases.spill = env.now - t
+            _phase_span(env, record, "spill", "spill", t, parent=root,
+                        mb=out_mb)
+            if out_mb > conf.sort_buffer_mb:
+                # multiple spill files: one merge pass (read back + rewrite)
+                t = env.now
+                yield from wait_flow(node.disk.read(out_mb, label="merge-read"))
+                yield from wait_flow(node.disk.write(out_mb, label="merge-write"))
+                record.phases.merge = env.now - t
+                _phase_span(env, record, "merge", "merge", t, parent=root)
+
+        # Status/commit round-trips through the stock RM/umbilical path.
+        if commit_rpc_s > 0:
+            t = env.now
+            yield env.timeout(commit_rpc_s)
+            _phase_span(env, record, "commit-rpc", "commit", t, parent=root)
+    finally:
+        if root is not None:
+            env.tracer.end(root)
 
     record.output_mb = out_mb
     record.in_memory_output = in_memory
@@ -271,63 +297,80 @@ def sim_reduce_task(cluster: "SimCluster", profile: WorkloadProfile, num_maps: i
     node = cluster.topology.node(node_id)
     record.node_id = node_id
     record.start_time = env.now
-
-    if setup_s > 0:
-        yield env.timeout(setup_s)
-    record.phases.setup = setup_s
-
-    # Shuffle: fetch each map output as soon as it is advertised; fetches
-    # overlap with still-running maps and with each other (parallel fetchers).
-    t = env.now
-    fetchers = []
-    total_mb = 0.0
+    root = None
+    if env.tracer is not None:
+        root = env.tracer.begin(record.task_id, "task", node_id,
+                                record.task_id, num_maps=num_maps)
     try:
-        for _ in range(num_maps):
-            out = yield outputs.get()
-            total_mb += out.size_mb
-            body = (_fetch_with_failover(cluster, out, node_id, shuffle)
-                    if shuffle is not None else _fetch_one(cluster, out, node_id))
-            fetchers.append(env.process(body, name=f"fetch-{out.task_id}"))
-        if fetchers:
-            yield env.all_of(fetchers)
-    except BaseException:
-        # Interrupt (reduce killed) or a fetcher's unrecoverable FetchFailure:
-        # tear down the surviving fetchers so no phantom transfers remain.
-        for fetcher in fetchers:
-            if fetcher.is_alive:
-                fetcher.defuse()
-                fetcher.interrupt("reduce aborted")
-        raise
-    record.phases.shuffle = env.now - t
-    record.input_mb = total_mb
+        if setup_s > 0:
+            t = env.now
+            yield env.timeout(setup_s)
+            _phase_span(env, record, "setup", "setup", t, parent=root)
+        record.phases.setup = setup_s
 
-    # Merge pass when the shuffled data exceed the in-memory sort buffer.
-    if total_mb > conf.sort_buffer_mb:
+        # Shuffle: fetch each map output as soon as it is advertised; fetches
+        # overlap with still-running maps and with each other (parallel fetchers).
         t = env.now
-        yield from wait_flow(node.disk.write(total_mb, label="reduce-merge-w"))
-        yield from wait_flow(node.disk.read(total_mb, label="reduce-merge-r"))
-        record.phases.merge = env.now - t
+        fetchers = []
+        total_mb = 0.0
+        try:
+            for _ in range(num_maps):
+                out = yield outputs.get()
+                total_mb += out.size_mb
+                body = (_fetch_with_failover(cluster, out, node_id, shuffle)
+                        if shuffle is not None else _fetch_one(cluster, out, node_id))
+                fetchers.append(env.process(body, name=f"fetch-{out.task_id}"))
+            if fetchers:
+                yield env.all_of(fetchers)
+        except BaseException:
+            # Interrupt (reduce killed) or a fetcher's unrecoverable FetchFailure:
+            # tear down the surviving fetchers so no phantom transfers remain.
+            for fetcher in fetchers:
+                if fetcher.is_alive:
+                    fetcher.defuse()
+                    fetcher.interrupt("reduce aborted")
+            raise
+        record.phases.shuffle = env.now - t
+        record.input_mb = total_mb
+        _phase_span(env, record, "shuffle", "shuffle", t, parent=root,
+                    mb=total_mb)
 
-    # Reduce compute.
-    t = env.now
-    cpu = node.cpu.compute(profile.reduce_cpu_s(total_mb), label=record.task_id)
-    yield from wait_flow(cpu)
-    record.phases.compute = env.now - t
+        # Merge pass when the shuffled data exceed the in-memory sort buffer.
+        if total_mb > conf.sort_buffer_mb:
+            t = env.now
+            yield from wait_flow(node.disk.write(total_mb, label="reduce-merge-w"))
+            yield from wait_flow(node.disk.read(total_mb, label="reduce-merge-r"))
+            record.phases.merge = env.now - t
+            _phase_span(env, record, "merge", "merge", t, parent=root)
 
-    # Output commit to HDFS. Written with replication 1 (common for job
-    # output of short ad-hoc queries; also keeps reduce time mode-independent
-    # exactly as the paper's estimator assumes).
-    out_mb = profile.reduce_output_mb(total_mb)
-    record.output_mb = out_mb
-    if write_output and out_mb > 0:
+        # Reduce compute.
         t = env.now
-        if not cluster.namenode.exists(output_path):
-            cluster.namenode.create_file(output_path, out_mb, writer_node=node_id)
-        yield from wait_flow(node.disk.write(out_mb, label="reduce-out"))
-        record.phases.write = env.now - t
+        cpu = node.cpu.compute(profile.reduce_cpu_s(total_mb), label=record.task_id)
+        yield from wait_flow(cpu)
+        record.phases.compute = env.now - t
+        _phase_span(env, record, "reduce", "compute", t, parent=root)
 
-    if commit_rpc_s > 0:
-        yield env.timeout(commit_rpc_s)
+        # Output commit to HDFS. Written with replication 1 (common for job
+        # output of short ad-hoc queries; also keeps reduce time mode-independent
+        # exactly as the paper's estimator assumes).
+        out_mb = profile.reduce_output_mb(total_mb)
+        record.output_mb = out_mb
+        if write_output and out_mb > 0:
+            t = env.now
+            if not cluster.namenode.exists(output_path):
+                cluster.namenode.create_file(output_path, out_mb, writer_node=node_id)
+            yield from wait_flow(node.disk.write(out_mb, label="reduce-out"))
+            record.phases.write = env.now - t
+            _phase_span(env, record, "write", "write", t, parent=root,
+                        mb=out_mb)
+
+        if commit_rpc_s > 0:
+            t = env.now
+            yield env.timeout(commit_rpc_s)
+            _phase_span(env, record, "commit-rpc", "commit", t, parent=root)
+    finally:
+        if root is not None:
+            env.tracer.end(root)
 
     record.finish_time = env.now
     return record

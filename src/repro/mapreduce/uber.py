@@ -34,7 +34,11 @@ class UberAM:
         node_id = ctx.node_id
         self.result.am_start_time = env.now
 
+        t_init = env.now
         yield env.timeout(conf.am_init_s)
+        if env.tracer is not None:
+            env.tracer.complete("am-init", "init", node_id,
+                                f"am-{ctx.app.app_id}", t_init)
 
         splits = compute_splits(self.cluster.namenode, self.spec.input_paths)
         n_maps = len(splits)

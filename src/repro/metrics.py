@@ -26,12 +26,14 @@ class UtilizationSummary:
     peak_cpu_utilization: float
     mean_scheduled_memory_fraction: float
     cpu_imbalance_index: float        # mean over samples of (max-min) node CPU
+    disk_imbalance_index: float = 0.0  # mean over samples of (max-min) disk ops
 
     def __str__(self) -> str:
         return (f"cpu mean {self.mean_cpu_utilization:.0%} / peak "
                 f"{self.peak_cpu_utilization:.0%}, scheduled-mem "
                 f"{self.mean_scheduled_memory_fraction:.0%}, imbalance "
-                f"{self.cpu_imbalance_index:.2f}")
+                f"cpu {self.cpu_imbalance_index:.2f} / "
+                f"disk {self.disk_imbalance_index:.2f}")
 
 
 class ClusterMonitor:
@@ -68,15 +70,19 @@ class ClusterMonitor:
         total_cores = sum(n.cpu.cores for n in self.cluster.datanodes)
         busy = 0.0
         node_utils = []
+        disk_loads = []
         for node in self.cluster.datanodes:
             util = node.cpu.utilization()
             node_utils.append(util)
+            disk_loads.append(node.disk.active_ops)
             busy += util * node.cpu.cores
             self.gauges.record(f"cpu:{node.node_id}", util)
             self.gauges.record(f"disk_ops:{node.node_id}", node.disk.active_ops)
         self.gauges.record("cpu:cluster", busy / total_cores if total_cores else 0.0)
         if node_utils:
             self.gauges.record("cpu:imbalance", max(node_utils) - min(node_utils))
+            self.gauges.record("disk:imbalance",
+                               float(max(disk_loads) - min(disk_loads)))
 
         total = rm.total_capability()
         used = rm.total_used()
@@ -93,9 +99,11 @@ class ClusterMonitor:
         cpu = self.series("cpu:cluster")
         mem = self.series("memory:scheduled")
         imbalance = self.series("cpu:imbalance")
+        disk_imbalance = self.series("disk:imbalance")
         return UtilizationSummary(
             mean_cpu_utilization=cpu.time_weighted_mean(until),
             peak_cpu_utilization=cpu.max(),
             mean_scheduled_memory_fraction=mem.time_weighted_mean(until),
             cpu_imbalance_index=imbalance.time_weighted_mean(until),
+            disk_imbalance_index=disk_imbalance.time_weighted_mean(until),
         )

@@ -1,0 +1,45 @@
+"""Validate a trace-event JSON file from the command line.
+
+CI's profile-smoke job runs::
+
+    python -m repro.observe.validate out/profile.perfetto.json
+
+which parses the file and applies :func:`validate_trace_events` (valid
+structure, monotonic ``ts``, matched ``B``/``E`` and async pairs), exiting
+non-zero with the problems listed when the trace would not load cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from .export import validate_trace_events
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 1:
+        print("usage: python -m repro.observe.validate <trace.json>",
+              file=sys.stderr)
+        return 2
+    path = argv[0]
+    try:
+        with open(path, encoding="utf-8") as fh:
+            obj = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"{path}: not readable JSON: {exc}", file=sys.stderr)
+        return 1
+    problems = validate_trace_events(obj)
+    if problems:
+        for problem in problems:
+            print(f"{path}: {problem}", file=sys.stderr)
+        return 1
+    events = obj["traceEvents"]
+    timed = sum(1 for ev in events if ev.get("ph") != "M")
+    print(f"{path}: OK — {len(events)} events ({timed} timed), "
+          "monotonic ts, balanced B/E")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main(sys.argv[1:]))

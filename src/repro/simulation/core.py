@@ -26,6 +26,10 @@ class Environment:
         #: Optional callables ``fn(time, event)`` invoked as each event is
         #: popped; used by tracing/monitoring utilities.
         self.tracers: list[Callable[[float, Event], None]] = []
+        #: Span tracer (:class:`repro.observe.Tracer`) or ``None``. Every
+        #: instrumentation site in the stack guards on ``is not None``, so
+        #: the default costs one attribute read per site and nothing else.
+        self.tracer: Optional[Any] = None
 
     # -- clock ------------------------------------------------------------
     @property
@@ -79,8 +83,9 @@ class Environment:
             raise EmptySchedule() from None
 
         self._now = when
-        for tracer in self.tracers:
-            tracer(when, event)
+        if self.tracers:
+            for tracer in self.tracers:
+                tracer(when, event)
 
         callbacks, event.callbacks = event.callbacks, None
         assert callbacks is not None

@@ -63,7 +63,12 @@ class NodeManager:
         def body() -> Generator:
             try:
                 if delay > 0:
+                    start = self.env.now
                     yield self.env.timeout(delay)
+                    if self.env.tracer is not None:
+                        self.env.tracer.complete(
+                            "container-launch", "launch", self.node_id, name,
+                            start, container_id=container.container_id)
                 result = yield from runnable
                 return result
             finally:

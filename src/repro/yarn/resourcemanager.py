@@ -138,6 +138,8 @@ class ResourceManager:
         """NODE_STATUS_UPDATE: serve queued AMs first, then task asks."""
         node = self.nodes[node_id]
         node.last_heartbeat = self.env.now
+        if self.env.tracer is not None:
+            self.env.tracer.metrics.incr("rm:node_heartbeats")
 
         # AM allocation takes precedence (YARN allocates AMs like any other
         # container but our FIFO keeps it simple and matches short-job runs).
@@ -164,7 +166,13 @@ class ResourceManager:
         ready = self._ready.get(app_id, [])
         if ready:
             self._ready[app_id] = []
-        return ready + grants
+        granted = ready + grants
+        if self.env.tracer is not None:
+            self.env.tracer.metrics.incr("rm:allocate_calls")
+            if granted:
+                self.env.tracer.metrics.incr("rm:containers_granted",
+                                             len(granted))
+        return granted
 
     def node_lost(self, node_id: str) -> None:
         """Mark a NodeManager dead: nothing further is scheduled there."""
@@ -241,6 +249,13 @@ class ResourceManager:
             self.application_finished(app, result)
             return result
 
+        tracer = self.env.tracer
+        if tracer is not None:
+            # Retrospective: how long the AM container sat in allocation.
+            from ..observe.tracer import CLUSTER
+            tracer.complete("am-alloc-wait", "alloc", CLUSTER,
+                            f"am-{app.app_id}", app.submit_time,
+                            placed_on=app.am_container.node_id)
         proc = nm.launch(app.am_container, am_body(), name=f"am-{app.app_id}",
                          launch_delay=launch_delay)
         self._am_processes[app.app_id] = proc
@@ -290,13 +305,24 @@ class AMContext:
         self.topology = rm.topology
 
     def allocate(self, asks: list[ContainerRequest]) -> Generator:
+        start = self.env.now
         yield self.env.timeout(self.conf.rpc_latency_s)
         grants = self.rm.allocate(self.app.app_id, asks)
         yield self.env.timeout(self.conf.rpc_latency_s)
+        if self.env.tracer is not None:
+            self.env.tracer.complete(
+                "allocate-rpc", "alloc", self.node_id,
+                f"am-{self.app.app_id}", start,
+                asks=len(asks), grants=len(grants))
         return grants
 
     def wait_heartbeat(self) -> Generator:
+        start = self.env.now
         yield self.env.timeout(self.conf.am_heartbeat_s)
+        if self.env.tracer is not None:
+            self.env.tracer.complete("heartbeat-wait", "heartbeat",
+                                     self.node_id, f"am-{self.app.app_id}",
+                                     start)
 
     def start_container(self, container: Container, runnable: Generator,
                         name: str = "task", launch_delay: Optional[float] = None):

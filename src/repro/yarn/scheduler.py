@@ -77,6 +77,11 @@ class SchedulerBase:
             app_id=pending.app_id,
         )
         node.allocate(pending.request.resource, memory_only=memory_only)
+        tracer = self.rm.env.tracer
+        if tracer is not None:
+            tracer.metrics.incr("scheduler:grants")
+            tracer.metrics.observe("scheduler:grant_queue_delay_s",
+                                   self.rm.env.now - pending.enqueued_at)
         return container
 
 

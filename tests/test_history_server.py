@@ -73,6 +73,20 @@ def test_report_text():
     assert "dominated by compute" in text
 
 
+def test_to_json_machine_readable():
+    import json
+
+    server = JobHistoryServer()
+    server.record_all(run_jobs())
+    data = json.loads(server.to_json())
+    assert data["jobs"] == 3
+    assert 0 < data["overhead_fraction"] < 1
+    dist = data["modes"]["hadoop-distributed"]
+    assert dist["dominant_map_phase"] == "compute"
+    assert set(dist["map_phase_mean_s"]) == set(PhaseBreakdown.FIELDS)
+    assert dist["map_phase_mean_s"]["compute"] > 0
+
+
 def test_empty_server():
     server = JobHistoryServer()
     assert server.overhead_fraction() == 0.0

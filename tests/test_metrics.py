@@ -70,6 +70,20 @@ def test_summary_stringifies():
     assert "cpu mean" in text and "imbalance" in text
 
 
+def test_disk_imbalance_recorded_and_summarized():
+    """Greedy stock packing piles disk ops on one node too; the summary
+    surfaces it as disk_imbalance_index alongside the CPU index."""
+    cluster = build_stock_cluster(a3_cluster(4))
+    monitor = ClusterMonitor(cluster, interval_s=0.5)
+    monitor.start()
+    run_stock_job(cluster, wc_spec(cluster), "distributed")
+    monitor.stop()
+    assert len(monitor.series("disk:imbalance")) > 0
+    summary = monitor.summary()
+    assert summary.disk_imbalance_index > 0.0
+    assert "disk" in str(summary)
+
+
 def test_per_node_series_recorded():
     cluster = build_stock_cluster(a3_cluster(3))
     monitor = ClusterMonitor(cluster, interval_s=0.5)

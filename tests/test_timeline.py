@@ -1,0 +1,81 @@
+"""Tests for the ASCII Gantt renderer (experiments/timeline.py)."""
+
+from repro.experiments.timeline import (
+    LAUNCH_CH,
+    RUN_CH,
+    WAIT_CH,
+    compare_timelines,
+    job_timeline,
+)
+from repro.mapreduce.spec import JobResult, PhaseTimings, TaskRecord
+
+
+def make_result(name="wc", mode="hadoop-distributed", submit=0.0, finish=20.0,
+                maps=None, reduces=None, app_id="app_0001"):
+    return JobResult(app_id=app_id, job_name=name, mode=mode,
+                     submit_time=submit, finish_time=finish,
+                     maps=maps or [], reduces=reduces or [])
+
+
+def make_task(task_id="m000", node="dn0", start=5.0, finish=15.0,
+              wait=2.0, launch=2.5):
+    record = TaskRecord(task_id, "map", node_id=node,
+                        start_time=start, finish_time=finish)
+    record.phases = PhaseTimings(wait=wait, launch=launch)
+    return record
+
+
+def test_timeline_renders_all_phases():
+    result = make_result(maps=[make_task()])
+    text = job_timeline(result, width=60)
+    assert "m000@dn0" in text
+    for ch in (WAIT_CH, LAUNCH_CH, RUN_CH):
+        assert ch in text
+
+
+def test_empty_result_renders_placeholder():
+    assert job_timeline(make_result()) == "(no completed tasks)"
+    # Tasks that never finished count as incomplete, not as rows.
+    unfinished = make_result(maps=[make_task(start=5.0, finish=0.0)])
+    assert job_timeline(unfinished) == "(no completed tasks)"
+
+
+def test_zero_duration_task_renders_without_crash():
+    """A task that starts and finishes at the same instant must not blow
+    up the column math or produce a run bar."""
+    instant = make_task(task_id="m001", start=8.0, finish=8.0,
+                        wait=0.0, launch=0.0)
+    result = make_result(maps=[make_task(), instant])
+    text = job_timeline(result, width=60)
+    rows = [line for line in text.splitlines() if "@dn0" in line]
+    assert len(rows) == 2
+    instant_row = next(r for r in rows if "m001" in r)
+    assert RUN_CH not in instant_row
+
+
+def test_zero_elapsed_job_renders_without_crash():
+    """t0 == t1 degenerates the scale; the guard clamps instead of dividing
+    by zero."""
+    result = make_result(submit=4.0, finish=4.0,
+                         maps=[make_task(start=4.0, finish=4.0)])
+    text = job_timeline(result, width=40)
+    assert "wc" in text
+
+
+def test_compare_timelines_empty_and_shared_scale():
+    assert compare_timelines([]) == "(nothing to compare)"
+
+    short = make_result(name="fast", finish=10.0,
+                        maps=[make_task(start=2.0, finish=9.0)])
+    long = make_result(name="slow", finish=40.0, app_id="app_0002",
+                       maps=[make_task(start=2.0, finish=38.0)])
+    text = compare_timelines([short, long], width=60)
+    assert "fast" in text and "slow" in text
+    # Shared scale: the short job's block is rendered proportionally
+    # narrower than the long job's.
+    blocks = text.split("\n\n")
+    fast_block = next(b for b in blocks if "fast" in b)
+    slow_block = next(b for b in blocks if "slow" in b)
+    fast_width = max(len(line) for line in fast_block.splitlines())
+    slow_width = max(len(line) for line in slow_block.splitlines())
+    assert fast_width < slow_width
