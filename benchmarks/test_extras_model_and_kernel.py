@@ -8,8 +8,6 @@ scheduler's cost at larger cluster sizes.
 
 from __future__ import annotations
 
-import math
-
 from repro.config import ClusterSpec, INSTANCE_TYPES, a3_cluster
 from repro.core import (
     EstimatorInputs,

@@ -1,7 +1,7 @@
 """Figure 12: sensitivity to containers-per-core (A2 cluster)."""
 
 from repro.experiments.figures import figure12
-from repro.experiments.harness import ALL_MODES, HADOOP_DIST, MRAPID_DPLUS, MRAPID_UPLUS
+from repro.experiments.harness import ALL_MODES, HADOOP_DIST, MRAPID_UPLUS
 
 
 def test_figure12_containers_per_core(figure_bench):

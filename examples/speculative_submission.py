@@ -11,7 +11,6 @@ Run:  python examples/speculative_submission.py
 
 from repro.config import MRapidConfig, a3_cluster
 from repro.core import (
-    MODE_DPLUS,
     MODE_UPLUS,
     JobProfiler,
     SpeculativeExecutor,

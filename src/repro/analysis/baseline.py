@@ -1,0 +1,113 @@
+"""Checked-in baseline: accepted findings that must not fail CI.
+
+The baseline maps a *content-keyed* finding identity (rule + file +
+stripped source line, see :meth:`Finding.baseline_key`) to the number of
+occurrences accepted, plus a free-text justification. Line numbers are
+deliberately not part of the key so edits elsewhere in a file do not
+invalidate entries; editing or moving the offending line does, which is
+the point — the exception is re-reviewed.
+
+Policy (docs/static_analysis.md): baseline only *deliberate* exceptions,
+each with an inline ``lint: MRxxx`` justification comment at the site.
+New violations never go into the baseline silently — fix them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .findings import Finding
+
+BASELINE_NAME = "lint_baseline.json"
+
+
+@dataclass
+class Baseline:
+    """Accepted-findings ledger, loaded from/saved to JSON."""
+
+    path: str | None = None
+    #: baseline key -> accepted occurrence count
+    entries: dict[str, int] = field(default_factory=dict)
+    #: baseline key -> human justification (documentation only)
+    notes: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        if not os.path.exists(path):
+            # A named-but-absent baseline is empty: lets --update-baseline
+            # bootstrap a fresh file at an explicit location.
+            return cls(path=path)
+        with open(path, encoding="utf-8") as f:
+            raw = json.load(f)
+        entries: dict[str, int] = {}
+        notes: dict[str, str] = {}
+        for key, value in raw.get("accepted", {}).items():
+            if isinstance(value, dict):
+                entries[key] = int(value.get("count", 1))
+                if value.get("why"):
+                    notes[key] = str(value["why"])
+            else:
+                entries[key] = int(value)
+        return cls(path=path, entries=entries, notes=notes)
+
+    @classmethod
+    def find(cls, start_dir: str) -> "Baseline":
+        """Locate ``lint_baseline.json`` in ``start_dir`` or a parent."""
+        directory = os.path.abspath(start_dir)
+        for _ in range(8):
+            candidate = os.path.join(directory, BASELINE_NAME)
+            if os.path.isfile(candidate):
+                return cls.load(candidate)
+            parent = os.path.dirname(directory)
+            if parent == directory:
+                break
+            directory = parent
+        return cls(path=None)
+
+    def save(self, path: str) -> None:
+        accepted = {}
+        for key in sorted(self.entries):
+            entry: dict[str, object] = {"count": self.entries[key]}
+            if key in self.notes:
+                entry["why"] = self.notes[key]
+            accepted[key] = entry
+        payload = {
+            "_comment": (
+                "Accepted repro.analysis findings. Keyed on rule + file + "
+                "source line text (not line numbers). Every entry must have "
+                "a `why` and an inline justification comment at the site. "
+                "Regenerate with: python -m repro.analysis --update-baseline"
+            ),
+            "accepted": accepted,
+        }
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(payload, f, indent=2, sort_keys=False)
+            f.write("\n")
+
+    # -- matching ----------------------------------------------------------
+    def split(self, findings: Iterable[tuple[Finding, str]]
+              ) -> tuple[list[Finding], list[Finding]]:
+        """Partition into (baselined, new) against accepted counts."""
+        budget = dict(self.entries)
+        baselined: list[Finding] = []
+        new: list[Finding] = []
+        for finding, line_text in findings:
+            key = finding.baseline_key(line_text)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        return baselined, new
+
+    @staticmethod
+    def from_findings(findings: Iterable[tuple[Finding, str]],
+                      notes: dict[str, str] | None = None) -> "Baseline":
+        entries: dict[str, int] = {}
+        for finding, line_text in findings:
+            key = finding.baseline_key(line_text)
+            entries[key] = entries.get(key, 0) + 1
+        return Baseline(entries=entries, notes=dict(notes or {}))

@@ -1,0 +1,42 @@
+"""The :class:`Finding` record every rule emits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a precise source location.
+
+    Sort order is (path, line, col, code) so reports are stable across
+    runs and machines regardless of rule execution order.
+    """
+
+    path: str  #: path relative to the ``repro`` package root (posix slashes)
+    line: int  #: 1-based line number
+    col: int  #: 0-based column offset
+    code: str  #: stable rule code, e.g. ``"MR102"``
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col} {self.code} {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+    def baseline_key(self, line_text: str) -> str:
+        """Identity used by the baseline file.
+
+        Keyed on rule + file + the stripped source line, *not* the line
+        number, so unrelated edits above a baselined finding do not
+        invalidate it; moving or editing the offending line does.
+        """
+        return f"{self.code}::{self.path}::{line_text.strip()}"

@@ -1,0 +1,189 @@
+"""MR101: the discrete-event kernel protocol.
+
+A simulation process is a generator resumed by the kernel each time the
+event it yielded fires. Yielding anything that is not an
+:class:`~repro.simulation.events.Event` used to hang the simulation
+silently (fixed in the kernel by failing the process, but the mistake is
+still a bug at the yield site). Separately, a kernel *callback* — a
+function appended to ``event.callbacks`` — runs inside
+``Environment.step``; calling ``step()``/``run()`` from one re-enters the
+dispatch loop and corrupts the clock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Union
+
+from .findings import Finding
+from .registry import (
+    SIM_SCOPE,
+    ModuleSource,
+    Rule,
+    attribute_chain,
+    own_statements,
+    register,
+    unparse,
+    walk_functions,
+)
+
+AnyFunc = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: ``Environment`` methods that *create* events; yielding the bound
+#: method instead of calling it is a classic slip (``yield env.timeout``).
+EVENT_FACTORIES = frozenset({"timeout", "event", "process", "all_of", "any_of"})
+
+#: Attribute/call names whose result is an Event in this codebase.
+EVENTISH_ATTRS = frozenset({"done", "finished", "am_started", "ready"})
+EVENTISH_CALLS = EVENT_FACTORIES | frozenset({"request", "get", "put"})
+
+
+def _is_eventish(node: ast.expr) -> bool:
+    """Does this yield expression *look like* it produces an Event?"""
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in EVENTISH_CALLS:
+            return True
+        return False
+    if isinstance(node, ast.Attribute):
+        return node.attr in EVENTISH_ATTRS
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitAnd, ast.BitOr)):
+        return _is_eventish(node.left) or _is_eventish(node.right)
+    return False
+
+
+def _definitely_not_event(node: Optional[ast.expr]) -> bool:
+    """Statically certain the yielded value cannot be an Event."""
+    if node is None:  # bare ``yield``
+        return True
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, (ast.JoinedStr, ast.List, ast.Tuple, ast.Dict, ast.Set,
+                         ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp,
+                         ast.Compare, ast.BoolOp, ast.Lambda)):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv,
+                      ast.Mod, ast.Pow)):
+        return True
+    if isinstance(node, ast.UnaryOp):
+        return _definitely_not_event(node.operand)
+    return False
+
+
+def _own_yields(func: AnyFunc) -> list[ast.Yield]:
+    return [n for n in own_statements(func) if isinstance(n, ast.Yield)]
+
+
+def _callback_names(tree: ast.Module) -> set[str]:
+    """Function names registered as kernel callbacks in this module.
+
+    Detects ``<expr>.callbacks.append(fn)``, ``<expr>.callbacks.append(
+    lambda ev: fn(...))`` and ``<expr>.callbacks = [fn, ...]``.
+    """
+    names: set[str] = set()
+
+    def _collect(value: ast.expr) -> None:
+        if isinstance(value, ast.Name):
+            names.add(value.id)
+        elif isinstance(value, ast.Attribute):
+            names.add(value.attr)
+        elif isinstance(value, ast.Lambda):
+            for inner in ast.walk(value.body):
+                if isinstance(inner, ast.Call):
+                    if isinstance(inner.func, ast.Name):
+                        names.add(inner.func.id)
+                    elif isinstance(inner.func, ast.Attribute):
+                        names.add(inner.func.attr)
+
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "append"
+                and isinstance(node.func.value, ast.Attribute)
+                and node.func.value.attr == "callbacks"
+                and node.args):
+            _collect(node.args[0])
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (isinstance(target, ast.Attribute)
+                        and target.attr == "callbacks"
+                        and isinstance(node.value, ast.List)):
+                    for elt in node.value.elts:
+                        _collect(elt)
+    return names
+
+
+def _is_env_receiver(node: ast.expr) -> bool:
+    """True for ``env``, ``self.env``, ``self._env``, ``cluster.env``..."""
+    if isinstance(node, ast.Name):
+        return node.id in ("env", "environment") or node.id.endswith("_env")
+    if isinstance(node, ast.Attribute):
+        return node.attr in ("env", "environment") or node.attr.endswith("_env")
+    return False
+
+
+@register
+class KernelProtocolRule(Rule):
+    code = "MR101"
+    name = "kernel-protocol"
+    rationale = (
+        "Simulation processes must yield Event objects; a non-event yield "
+        "fails (and once silently hung) the process. Kernel callbacks run "
+        "inside Environment.step and must never re-enter step()/run()."
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if not module.in_scope(SIM_SCOPE):
+            return
+        callbacks = _callback_names(module.tree)
+        for func in walk_functions(module.tree):
+            yield from self._check_yields(module, func)
+            if func.name in callbacks:
+                yield from self._check_reentry(module, func)
+
+    # -- non-event yields --------------------------------------------------
+    def _check_yields(self, module: ModuleSource, func: AnyFunc) -> Iterator[Finding]:
+        yields = _own_yields(func)
+        if not yields:
+            return
+        # Only functions that demonstrably yield events are treated as
+        # simulation processes — data-producing generators (mappers,
+        # reducers, record streams) yield values by design.
+        is_sim_process = any(
+            y.value is not None and _is_eventish(y.value) for y in yields
+        )
+        for y in yields:
+            value = y.value
+            if (value is not None and isinstance(value, ast.Attribute)
+                    and value.attr in EVENT_FACTORIES):
+                yield self.finding(
+                    module, y,
+                    f"yield of uncalled event factory "
+                    f"`{unparse(value)}` — missing `()`",
+                )
+                continue
+            if is_sim_process and _definitely_not_event(value):
+                shown = "<bare yield>" if value is None else unparse(value)
+                yield self.finding(
+                    module, y,
+                    f"simulation process {func.name!r} yields non-event "
+                    f"expression `{shown}`",
+                )
+
+    # -- callback re-entry -------------------------------------------------
+    def _check_reentry(self, module: ModuleSource, func: AnyFunc) -> Iterator[Finding]:
+        for node in own_statements(func):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            if node.func.attr not in ("step", "run"):
+                continue
+            if not _is_env_receiver(node.func.value):
+                continue
+            chain = attribute_chain(node.func)
+            shown = ".".join(chain) if chain else unparse(node.func)
+            yield self.finding(
+                module, node,
+                f"kernel callback {func.name!r} re-enters the dispatch loop "
+                f"via `{shown}()`",
+            )

@@ -1,0 +1,204 @@
+"""File walking, rule execution, reporting, and the CLI entry point."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from .baseline import BASELINE_NAME, Baseline
+from .findings import Finding
+from .registry import ModuleSource, all_rules, rule_catalog
+
+
+def _package_rel(path: str) -> str:
+    """Path relative to the ``repro`` package root, posix separators.
+
+    ``src/repro/yarn/scheduler.py`` -> ``yarn/scheduler.py``. Files outside
+    a ``repro`` directory fall back to their basename-joined tail so rule
+    scoping still behaves sensibly on fixture trees.
+    """
+    parts = os.path.abspath(path).replace(os.sep, "/").split("/")
+    if "repro" in parts:
+        idx = len(parts) - 1 - parts[::-1].index("repro")
+        tail = parts[idx + 1:]
+        if tail:
+            return "/".join(tail)
+    return parts[-1]
+
+
+def collect_files(paths: Sequence[str]) -> list[str]:
+    files: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+        elif os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(d for d in dirs
+                                 if d not in ("__pycache__", ".git"))
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        files.append(os.path.join(root, name))
+        else:
+            raise FileNotFoundError(path)
+    return files
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analyzer run produced."""
+
+    findings: list[tuple[Finding, str]] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    new: list[Finding] = field(default_factory=list)
+    parse_errors: list[str] = field(default_factory=list)
+    files_checked: int = 0
+
+    def to_dict(self) -> dict:
+        new_keys = {id(f) for f in self.new}
+        return {
+            "version": 1,
+            "files_checked": self.files_checked,
+            "rules": rule_catalog(),
+            "findings": [
+                {**f.to_dict(), "baselined": id(f) not in new_keys}
+                for f, _ in self.findings
+            ],
+            "new_count": len(self.new),
+            "parse_errors": self.parse_errors,
+        }
+
+
+def analyze_paths(paths: Sequence[str],
+                  baseline: Optional[Baseline] = None,
+                  codes: Optional[set[str]] = None) -> AnalysisResult:
+    """Run every registered rule over ``paths``.
+
+    ``baseline=None`` means "no baseline": every finding is new.
+    ``codes`` restricts to a subset of rule codes.
+    """
+    result = AnalysisResult()
+    rules = [r for r in all_rules() if codes is None or r.code in codes]
+    for file_path in collect_files(paths):
+        try:
+            with open(file_path, encoding="utf-8") as f:
+                text = f.read()
+            module = ModuleSource.parse(file_path, _package_rel(file_path), text)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            result.parse_errors.append(f"{file_path}: {exc}")
+            continue
+        result.files_checked += 1
+        for rule in rules:
+            for finding in rule.check(module):
+                result.findings.append((finding, module.line_text(finding.line)))
+    result.findings.sort(key=lambda pair: pair[0])
+    if baseline is None:
+        baseline = Baseline()
+    result.baselined, result.new = baseline.split(result.findings)
+    return result
+
+
+def _render_text(result: AnalysisResult, verbose: bool) -> str:
+    lines = []
+    shown = result.findings if verbose else [
+        (f, t) for f, t in result.findings if f in result.new]
+    baselined_keys = {id(f) for f in result.baselined}
+    for finding, _ in shown:
+        suffix = "  [baselined]" if id(finding) in baselined_keys else ""
+        lines.append(finding.render() + suffix)
+    for err in result.parse_errors:
+        lines.append(f"PARSE-ERROR {err}")
+    lines.append(
+        f"{result.files_checked} files checked: {len(result.new)} new "
+        f"finding(s), {len(result.baselined)} baselined")
+    return "\n".join(lines)
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Domain-specific static analyzer for the MRapid "
+                    "reproduction (rules MR101-MR105).")
+    parser.add_argument("paths", nargs="*",
+                        help="files/directories to check (default: src/repro)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit machine-readable findings on stdout")
+    parser.add_argument("--rules", metavar="CODES",
+                        help="comma-separated rule codes to run (e.g. MR102,MR105)")
+    parser.add_argument("--baseline", metavar="PATH",
+                        help=f"baseline file (default: nearest {BASELINE_NAME})")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline; report every finding as new")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="write the current findings as the new baseline "
+                             "(preserves justifications of surviving entries)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    parser.add_argument("--verbose", action="store_true",
+                        help="also print baselined findings")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run the dynamic determinism sanitizer (two "
+                             "subprocess runs under different PYTHONHASHSEED)")
+    parser.add_argument("--seeds", nargs=2, type=int, default=(1, 2),
+                        metavar=("A", "B"),
+                        help="hash seeds for --sanitize (default: 1 2)")
+    parser.add_argument("--digest", action="store_true",
+                        help=argparse.SUPPRESS)  # sanitizer child mode
+    return parser
+
+
+def _default_paths() -> list[str]:
+    if os.path.isdir(os.path.join("src", "repro")):
+        return [os.path.join("src", "repro")]
+    here = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    return [here]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+
+    if args.digest:
+        from .sanitize import scenario_digest
+        print(json.dumps(scenario_digest(), sort_keys=True))
+        return 0
+
+    if args.list_rules:
+        for code, info in rule_catalog().items():
+            print(f"{code} {info['name']}: {info['rationale']}")
+        return 0
+
+    if args.sanitize:
+        from .sanitize import run_sanitizer
+        return run_sanitizer(tuple(args.seeds), echo=print)
+
+    paths = list(args.paths) or _default_paths()
+    codes = set(args.rules.split(",")) if args.rules else None
+
+    if args.no_baseline:
+        baseline: Optional[Baseline] = Baseline()
+    elif args.baseline:
+        baseline = Baseline.load(args.baseline)
+    else:
+        baseline = Baseline.find(os.path.dirname(os.path.abspath(paths[0]))
+                                 if os.path.isfile(paths[0]) else paths[0])
+
+    result = analyze_paths(paths, baseline=baseline, codes=codes)
+
+    if args.update_baseline:
+        target = args.baseline or baseline.path or BASELINE_NAME
+        refreshed = Baseline.from_findings(result.findings, notes=baseline.notes)
+        refreshed.save(target)
+        print(f"wrote {target} ({sum(refreshed.entries.values())} accepted "
+              f"finding(s))")
+        return 0
+
+    if args.as_json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(_render_text(result, verbose=args.verbose))
+
+    if result.parse_errors:
+        return 2
+    return 1 if result.new else 0

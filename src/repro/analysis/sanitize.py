@@ -1,0 +1,141 @@
+"""Dynamic determinism sanitizer.
+
+Static rules catch *patterns* of hash-order dependence; this module
+catches the *effect*. It runs one small but representative scenario —
+a wordcount job on a multi-rack cluster with the shared fabric active —
+twice, in separate interpreter processes launched with different
+``PYTHONHASHSEED`` values, and compares digests of
+
+* the exact sequence of processed events (class name + timestamp), and
+* the headline job metrics (makespan, per-task times, bytes moved).
+
+If any ``set``/``dict``-iteration order anywhere in the simulator leaks
+into scheduling decisions, the two runs diverge and the digests differ.
+A third in-process run with the same seed guards against cross-run
+state (MR105 dynamic check): run #1 and run #3 share a process, so any
+module-level counter or cache shifts the repeated digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+from typing import Callable, Optional
+
+
+def scenario_digest() -> dict[str, str]:
+    """Run the reference scenario twice in-process; return both digests.
+
+    ``event_digest`` hashes the (class-name, time) sequence of every
+    event the kernel processed; ``metrics_digest`` hashes the scenario's
+    headline numbers. ``repeat_digest`` is the event digest of a second
+    run in the same process — it must equal ``event_digest`` or some
+    module-level state survived the first run.
+    """
+    first = _run_scenario()
+    second = _run_scenario()
+    return {
+        "event_digest": first[0],
+        "metrics_digest": first[1],
+        "repeat_digest": second[0],
+        "repeat_metrics_digest": second[1],
+    }
+
+
+def _run_scenario() -> tuple[str, str]:
+    from repro.config import a3_cluster
+    from repro.core.submit import build_stock_cluster, run_stock_job
+    from repro.experiments.figures import wordcount_input
+
+    cluster = build_stock_cluster(a3_cluster(4), seed=7)
+    env = cluster.env
+
+    # Every processed kernel event, in dispatch order. Any hash-order
+    # dependence in scheduling/placement reorders this sequence.
+    event_h = hashlib.sha256()
+
+    def record(when: float, event: object) -> None:
+        event_h.update(f"{type(event).__name__}@{when!r};".encode())
+
+    env.tracers.append(record)
+
+    spec = wordcount_input(4, 10.0)(cluster)
+    # Kill a non-gateway node mid-flight so the fabric/HDFS failure paths
+    # (flow teardown order, re-replication target choice) are on the
+    # digested path too, then run the job to completion.
+    timer = env.timeout(2.0)
+    timer.callbacks.append(lambda _ev: cluster.fail_node("dn3"))
+    result = run_stock_job(cluster, spec, "distributed")
+
+    metrics = {
+        "elapsed": round(result.elapsed, 9),
+        "am_overhead": round(result.am_overhead, 9),
+        "tasks": sorted(
+            (t.task_id, t.node_id, round(t.start_time, 9),
+             round(t.finish_time, 9))
+            for t in (*result.maps, *result.reduces)),
+        "waves": result.num_waves,
+    }
+    metrics_h = hashlib.sha256(
+        json.dumps(metrics, sort_keys=True).encode())
+    return event_h.hexdigest(), metrics_h.hexdigest()
+
+
+def _child_digest(hash_seed: int) -> dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = str(hash_seed)
+    src_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (src_root + os.pathsep + existing
+                         if existing else src_root)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "--digest"],
+        capture_output=True, text=True, env=env, timeout=300)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"digest child (PYTHONHASHSEED={hash_seed}) failed:\n"
+            f"{proc.stdout}\n{proc.stderr}")
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def run_sanitizer(seeds: tuple[int, int] = (1, 2),
+                  echo: Optional[Callable[[str], None]] = None) -> int:
+    """Compare scenario digests across two PYTHONHASHSEED values.
+
+    Returns 0 when all digests agree (deterministic), 1 otherwise.
+    """
+    say = echo or (lambda _msg: None)
+    say(f"determinism sanitizer: PYTHONHASHSEED={seeds[0]} vs {seeds[1]}")
+    a = _child_digest(seeds[0])
+    b = _child_digest(seeds[1])
+
+    failures = []
+    for run, digest in (("A", a), ("B", b)):
+        if digest["event_digest"] != digest["repeat_digest"]:
+            failures.append(
+                f"run {run}: repeated in-process run diverged "
+                f"(cross-run state leak — see rule MR105)")
+        if digest["metrics_digest"] != digest["repeat_metrics_digest"]:
+            failures.append(f"run {run}: repeated run changed metrics")
+    if a["event_digest"] != b["event_digest"]:
+        failures.append(
+            "event order depends on PYTHONHASHSEED (hash-order leak — "
+            "see rule MR102)")
+    if a["metrics_digest"] != b["metrics_digest"]:
+        failures.append("metrics depend on PYTHONHASHSEED")
+
+    if failures:
+        for line in failures:
+            say(f"FAIL {line}")
+        say(f"  A: {a}")
+        say(f"  B: {b}")
+        return 1
+    say(f"OK event digest   {a['event_digest'][:16]}… identical across "
+        f"seeds and repeats")
+    say(f"OK metrics digest {a['metrics_digest'][:16]}… identical across "
+        f"seeds and repeats")
+    return 0

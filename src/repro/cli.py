@@ -312,6 +312,28 @@ def cmd_validate(_args) -> int:
     return 0 if (ok_wc and ok_ts and ok_pi) else 1
 
 
+def cmd_lint(args) -> int:
+    from .analysis import main as analysis_main
+
+    argv = list(args.paths)
+    if args.json:
+        argv.append("--json")
+    if args.rules:
+        argv.extend(["--rules", args.rules])
+    if args.no_baseline:
+        argv.append("--no-baseline")
+    if args.update_baseline:
+        argv.append("--update-baseline")
+    if args.verbose:
+        argv.append("--verbose")
+    if args.list_rules:
+        argv.append("--list-rules")
+    if args.sanitize:
+        argv.append("--sanitize")
+        argv.extend(["--seeds", str(args.seeds[0]), str(args.seeds[1])])
+    return analysis_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="MRapid (IPPS 2017) reproduction toolkit")
@@ -403,6 +425,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--candidates", type=int, nargs="+", default=[1, 2, 3])
     p.add_argument("--cluster", default="a3", choices=["a3", "a2"])
     p.set_defaults(fn=cmd_tune)
+
+    p = sub.add_parser(
+        "lint",
+        help="domain-specific static analysis (rules MR101-MR105) and "
+             "the dynamic determinism sanitizer")
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to check (default: src/repro)")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable findings")
+    p.add_argument("--rules", metavar="CODES",
+                   help="comma-separated rule codes (e.g. MR102,MR105)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="report baselined findings too")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="accept the current findings into lint_baseline.json")
+    p.add_argument("--verbose", action="store_true",
+                   help="also print baselined findings")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalog and exit")
+    p.add_argument("--sanitize", action="store_true",
+                   help="run the scenario twice under different "
+                        "PYTHONHASHSEED values and diff the digests")
+    p.add_argument("--seeds", nargs=2, type=int, default=(1, 2),
+                   metavar=("A", "B"), help="hash seeds for --sanitize")
+    p.set_defaults(fn=cmd_lint)
 
     sub.add_parser("validate",
                    help="run the real workloads and verify their outputs"

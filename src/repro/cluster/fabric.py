@@ -174,8 +174,15 @@ class SharedFabric:
         self._reallocate()
 
     @property
-    def active_flows(self) -> frozenset[Flow]:
-        return frozenset(self._flows)
+    def active_flows(self) -> tuple[Flow, ...]:
+        """Live flows in submission order.
+
+        Deliberately *not* a set: ``Flow`` hashes by identity, so set
+        iteration order would follow allocation addresses and fault
+        handlers that walk the active flows (node/link kills) would tear
+        them down in a process-dependent order.
+        """
+        return tuple(self._flows)
 
     def flows_on(self, link_id: str) -> list[Flow]:
         return list(self._link_members.get(link_id, ()))

@@ -7,8 +7,7 @@ evaluation reproduce; see DESIGN.md §6 and EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, replace
 
 from .cluster.resources import ResourceVector
 

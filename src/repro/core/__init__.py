@@ -27,7 +27,6 @@ from .estimator import (
 )
 from .profiler import JobProfiler, ProfileSnapshot, estimator_inputs_from
 from .speculation import SpeculationOutcome, SpeculativeExecutor
-from .tuning import TuningCandidate, TuningReport, tune_am_pool_size, tune_maps_per_vcore
 from .submit import (
     build_mrapid_cluster,
     build_stock_cluster,
@@ -35,6 +34,7 @@ from .submit import (
     run_speculative,
     run_stock_job,
 )
+from .tuning import TuningCandidate, TuningReport, tune_am_pool_size, tune_maps_per_vcore
 from .uplus import IntermediateCache, UPlusAM
 
 __all__ = [

@@ -11,7 +11,7 @@ the stock Figure 1 path (used by the Figure 14/15 ablations).
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from ..cluster.resources import ResourceVector
 from ..config import MRapidConfig
@@ -30,8 +30,6 @@ if TYPE_CHECKING:  # pragma: no cover
 MODE_DPLUS = "mrapid-dplus"
 MODE_UPLUS = "mrapid-uplus"
 
-_slot_ids = itertools.count(1)
-
 
 class AMSlave:
     """A warm AM JVM parked on a node, ready to accept a job from the proxy."""
@@ -39,7 +37,7 @@ class AMSlave:
     def __init__(self, framework: "SubmissionFramework", container: Container) -> None:
         self.framework = framework
         self.container = container
-        self.slot_id = next(_slot_ids)
+        self.slot_id = next(framework._slot_ids)
         self.ready = framework.cluster.env.event()
         #: Running a job right now (vs parked in the pool).
         self.busy = False
@@ -90,6 +88,10 @@ class SubmissionFramework:
         self.mrapid = mrapid if mrapid is not None else MRapidConfig()
         self.pool: Store = Store(cluster.env)
         self.slaves: list[AMSlave] = []
+        # Slot ids are per-framework (not module-level): a process-global
+        # counter would make traced slot numbers depend on how many clusters
+        # ran earlier in the same process.
+        self._slot_ids = itertools.count(1)
         #: Shared across all speculative submissions on this cluster, so the
         #: second run of a known job skips the dual launch (§III-C step 2).
         self.decision_maker = DecisionMaker()

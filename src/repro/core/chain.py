@@ -16,7 +16,7 @@ single jobs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Generator, Optional, Sequence
+from typing import TYPE_CHECKING, Generator, Sequence
 
 from ..mapreduce.client import MODE_AUTO, JobClient
 from ..mapreduce.spec import JobResult, SimJobSpec

@@ -9,7 +9,7 @@ loser to kill.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from .estimator import EstimatorInputs, estimate_dplus, estimate_uplus

@@ -7,7 +7,6 @@ during the speculative phase (t^m, s^i, s^o) plus cluster constants
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 

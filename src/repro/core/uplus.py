@@ -23,10 +23,10 @@ from typing import TYPE_CHECKING, Generator
 
 from ..config import MRapidConfig
 from ..hdfs.splits import compute_splits
-from ..simulation.errors import Interrupt
-from ..simulation.resources import Resource, Store
 from ..mapreduce.spec import JobResult, SimJobSpec, TaskRecord
 from ..mapreduce.tasks import sim_map_task, sim_reduce_task
+from ..simulation.errors import Interrupt
+from ..simulation.resources import Resource, Store
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..simcluster import SimCluster

@@ -8,7 +8,7 @@ data source into :class:`RecordSplit` objects, each of which yields
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Iterator, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 
 @dataclass

@@ -22,8 +22,8 @@ from .types import (
     MAP_OUTPUT_BYTES,
     SPILLED_RECORDS,
     Counters,
-    Reducer,
     ReduceContext,
+    Reducer,
 )
 
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Iterator, Optional
+from typing import Any, Callable, Iterator, Optional
 
 # Standard counter names (subset of Hadoop's TaskCounter).
 MAP_INPUT_RECORDS = "MAP_INPUT_RECORDS"

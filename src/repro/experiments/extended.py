@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from ..config import MRapidConfig, HadoopConfig, a3_cluster
+from ..config import HadoopConfig, a3_cluster
 from ..core import build_mrapid_cluster, build_stock_cluster, run_short_job, run_stock_job
 from ..core.chain import ChainStage, run_chain
 from ..mapreduce import MODE_DISTRIBUTED, JobClient, SimJobSpec

@@ -9,7 +9,7 @@ of Table II and Figures 7-15.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Callable, Sequence
 
 from ..config import (
     INSTANCE_TYPES,

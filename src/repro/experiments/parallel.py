@@ -42,6 +42,9 @@ _default_jobs = 1
 
 def set_default_jobs(jobs: Optional[int]) -> None:
     """Set the worker count used when ``jobs`` is not given (None = cpus)."""
+    # lint: MR105 baselined — process-wide CLI knob set once at startup;
+    # worker count affects wall-clock only, never simulated results (the
+    # parallel runner asserts serial/parallel output is identical).
     global _default_jobs
     _default_jobs = resolve_jobs(jobs)
 

@@ -8,11 +8,11 @@ every replica.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator, Optional
+from typing import TYPE_CHECKING, Generator
 
 from ..cluster.network import ClusterNetwork
 from ..cluster.topology import Topology
-from .block import Block, HdfsFile, InputSplit
+from .block import Block, InputSplit
 from .namenode import HdfsError, NameNode
 
 if TYPE_CHECKING:  # pragma: no cover

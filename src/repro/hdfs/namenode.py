@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Optional, Sequence
+from typing import Optional
 
 from ..cluster.topology import Topology
 from .block import Block, HdfsFile

@@ -4,10 +4,10 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Any, Callable, Generator, Optional
+from typing import Any, Callable, Generator, Iterable, Optional
 
 from .errors import EmptySchedule, SimulationError, StopSimulation
-from .events import AllOf, AnyOf, Event, Process, Timeout, NORMAL
+from .events import NORMAL, AllOf, AnyOf, Event, Process, Timeout
 
 
 class Environment:
@@ -55,10 +55,10 @@ class Environment:
         """Start a new process from ``generator``."""
         return Process(self, generator, name=name)
 
-    def all_of(self, events) -> AllOf:
+    def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
 
-    def any_of(self, events) -> AnyOf:
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
 
     # -- scheduling ---------------------------------------------------------

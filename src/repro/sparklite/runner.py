@@ -29,8 +29,6 @@ from .dag import SparkResult, SparkStage, StageResult, validate_dag
 if TYPE_CHECKING:  # pragma: no cover
     from ..simcluster import SimCluster
 
-_executor_ids = itertools.count(1)
-
 
 class SparkExecutor:
     """A long-lived executor JVM on one node.
@@ -42,10 +40,11 @@ class SparkExecutor:
     """
 
     def __init__(self, cluster: "SimCluster", container: Container,
-                 task_slots: int, cache_limit_mb: float = float("inf")) -> None:
+                 task_slots: int, executor_id: int,
+                 cache_limit_mb: float = float("inf")) -> None:
         self.cluster = cluster
         self.container = container
-        self.executor_id = next(_executor_ids)
+        self.executor_id = executor_id
         self.node_id = container.node_id
         self.slots = Resource(cluster.env, capacity=task_slots)
         self.cached_mb = 0.0
@@ -78,6 +77,10 @@ class SparkLiteRunner:
         self.executor_memory_mb = executor_memory_mb
         self.cache_limit_mb = executor_memory_mb * storage_fraction
         self.warm_pool = warm_pool
+        # Per-runner, not module-level: ids reset with each application, so
+        # partition_homes in results never depend on what ran earlier in
+        # the process.
+        self._executor_ids = itertools.count(1)
         self._warm_executors: Optional[list[SparkExecutor]] = None
         if warm_pool:
             self._warm_executors = self._provision_now()
@@ -100,6 +103,7 @@ class SparkLiteRunner:
             state.allocate(demand)
             executors.append(SparkExecutor(self.cluster, container,
                                            self.executor_vcores,
+                                           next(self._executor_ids),
                                            cache_limit_mb=self.cache_limit_mb))
         if not executors:
             raise ValueError("cluster too small for even one warm executor")
@@ -161,6 +165,7 @@ class SparkLiteRunner:
             # Executor JVMs launch in parallel.
             yield env.timeout(conf.container_launch_s)
             executors = [SparkExecutor(self.cluster, c, self.executor_vcores,
+                                       next(self._executor_ids),
                                        cache_limit_mb=self.cache_limit_mb)
                          for c in granted]
             result.executors_ready_time = env.now

@@ -22,14 +22,6 @@ from .sessions import (
     reference_sessionize,
     sessionize,
 )
-from .wordstats import (
-    WORDSTATS_PROFILE,
-    reference_word_lengths,
-    word_length_histogram,
-    word_mean,
-    word_median,
-    word_stddev,
-)
 from .terasort import (
     ROW_BYTES,
     rows_to_mb,
@@ -40,6 +32,14 @@ from .terasort import (
 )
 from .textgen import generate_files, generate_text, make_vocabulary, zipf_weights
 from .wordcount import reference_wordcount, run_wordcount, wordcount_job
+from .wordstats import (
+    WORDSTATS_PROFILE,
+    reference_word_lengths,
+    word_length_histogram,
+    word_mean,
+    word_median,
+    word_stddev,
+)
 
 __all__ = [
     "GREP_PROFILE",

@@ -8,7 +8,7 @@ reduce partition, and partition order gives the global order.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 

@@ -1,10 +1,10 @@
 """Simulated YARN: ResourceManager, NodeManagers, schedulers, records."""
 
 from .nodemanager import NodeManager
+from .queues import MultiTenantCapacityScheduler, QueueConfig, QueueState
 from .records import Application, Container, ContainerRequest, IdAllocator, NodeState
 from .resourcemanager import AMContext, JobKilled, ResourceManager
 from .scheduler import CapacityScheduler, PendingAsk, SchedulerBase
-from .queues import MultiTenantCapacityScheduler, QueueConfig, QueueState
 
 __all__ = [
     "AMContext",

@@ -19,8 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..cluster.resources import ResourceVector
-from .records import Container, ContainerRequest, NodeState
+from .records import Container, NodeState
 from .scheduler import PendingAsk, SchedulerBase
 
 

@@ -1,0 +1,388 @@
+"""Tests for the repro.analysis static analyzer and determinism sanitizer.
+
+Each rule gets at least one firing fixture and one non-firing fixture,
+written as the idioms the live tree actually uses — the non-firing cases
+double as a spec of the approved patterns.
+"""
+
+import json
+import textwrap
+
+from repro.analysis import Baseline, analyze_paths
+from repro.analysis import main as analysis_main
+from repro.analysis.registry import ModuleSource, all_rules, rule_catalog
+
+SRC_ROOT = "src/repro"
+
+
+def run_rule(code, rel, source):
+    """Findings of one rule over a synthetic module at package path ``rel``."""
+    module = ModuleSource.parse(f"src/repro/{rel}", rel,
+                                textwrap.dedent(source))
+    [rule] = [r for r in all_rules() if r.code == code]
+    return list(rule.check(module))
+
+
+# -- registry ------------------------------------------------------------------
+
+def test_catalog_has_all_five_rules():
+    assert sorted(rule_catalog()) == ["MR101", "MR102", "MR103", "MR104",
+                                      "MR105"]
+
+
+# -- MR101 kernel protocol -----------------------------------------------------
+
+def test_mr101_flags_uncalled_factory_yield():
+    found = run_rule("MR101", "mapreduce/tasks.py", """
+        def body(env):
+            yield env.timeout
+    """)
+    assert [f.code for f in found] == ["MR101"]
+
+
+def test_mr101_flags_non_event_yield_in_sim_process():
+    found = run_rule("MR101", "core/dplus.py", """
+        def body(env):
+            yield env.timeout(1.0)
+            yield 42
+    """)
+    assert len(found) == 1
+    assert "42" in found[0].message
+
+
+def test_mr101_allows_data_generators_and_event_yields():
+    assert run_rule("MR101", "mapreduce/tasks.py", """
+        def mapper(record):
+            for word in record.split():
+                yield (word, 1)
+
+        def body(env, dev):
+            yield env.timeout(1.0)
+            yield dev.execute(10.0).done
+            yield env.all_of([env.timeout(1.0), env.timeout(2.0)])
+    """) == []
+
+
+def test_mr101_flags_step_reentry_from_callback():
+    found = run_rule("MR101", "cluster/fabric.py", """
+        def arm(env, timer):
+            def fire(ev):
+                env.step()
+            timer.callbacks.append(fire)
+    """)
+    assert len(found) == 1
+    assert "step" in found[0].message
+
+
+def test_mr101_allows_step_outside_callbacks():
+    assert run_rule("MR101", "simulation/core.py", """
+        def drain(env):
+            while True:
+                env.step()
+    """) == []
+
+
+# -- MR102 determinism ---------------------------------------------------------
+
+def test_mr102_flags_wall_clock():
+    found = run_rule("MR102", "yarn/scheduler.py", """
+        import time
+        def stamp():
+            return time.time()
+    """)
+    assert len(found) == 1
+
+
+def test_mr102_allows_wall_clock_in_bench_code():
+    assert run_rule("MR102", "bench.py", """
+        import time
+        def stamp():
+            return time.perf_counter()
+    """) == []
+
+
+def test_mr102_flags_global_random():
+    found = run_rule("MR102", "hdfs/namenode.py", """
+        import random
+        def pick(nodes):
+            return random.choice(nodes)
+    """)
+    assert len(found) == 1
+
+
+def test_mr102_allows_seeded_rng_instance():
+    assert run_rule("MR102", "hdfs/namenode.py", """
+        import random
+        def pick(nodes, seed):
+            rng = random.Random(seed)
+            return rng.choice(nodes)
+    """) == []
+
+
+def test_mr102_flags_id_sort_key():
+    found = run_rule("MR102", "yarn/scheduler.py", """
+        def order(tasks):
+            return sorted(tasks, key=id)
+    """)
+    assert len(found) == 1
+
+
+def test_mr102_flags_set_iteration_in_scheduling_scope():
+    found = run_rule("MR102", "yarn/scheduler.py", """
+        def place(pending):
+            ready = set(pending)
+            for task in ready:
+                launch(task)
+    """)
+    assert len(found) == 1
+
+
+def test_mr102_allows_sorted_set_and_out_of_scope_sets():
+    assert run_rule("MR102", "yarn/scheduler.py", """
+        def place(pending):
+            ready = set(pending)
+            for task in sorted(ready):
+                launch(task)
+    """) == []
+    assert run_rule("MR102", "workloads/wordcount.py", """
+        def words(text):
+            for w in set(text.split()):
+                yield w
+    """) == []
+
+
+# -- MR103 tracer guards -------------------------------------------------------
+
+def test_mr103_flags_unguarded_tracer_call():
+    found = run_rule("MR103", "yarn/scheduler.py", """
+        def grant(self, env):
+            env.tracer.instant("grant", "sched")
+    """)
+    assert len(found) == 1
+    assert "env.tracer" in found[0].message
+
+
+def test_mr103_accepts_direct_and_alias_guards():
+    assert run_rule("MR103", "yarn/scheduler.py", """
+        def grant(self, env):
+            if env.tracer is not None:
+                env.tracer.instant("grant", "sched")
+            tracer = self.rm.env.tracer
+            if tracer is not None and self.count > 0:
+                tracer.metrics.incr("containers", self.count)
+    """) == []
+
+
+def test_mr103_accepts_early_return_guard():
+    assert run_rule("MR103", "core/ampool.py", """
+        def note(self, env):
+            if env.tracer is None:
+                return
+            env.tracer.instant("pool", "ampool")
+    """) == []
+
+
+def test_mr103_guard_does_not_leak_to_else_or_siblings():
+    found = run_rule("MR103", "core/ampool.py", """
+        def note(self, env):
+            if env.tracer is not None:
+                pass
+            env.tracer.instant("pool", "ampool")
+    """)
+    assert len(found) == 1
+
+
+def test_mr103_ignores_cold_paths():
+    assert run_rule("MR103", "observe/exporters.py", """
+        def dump(tracer):
+            tracer.record("x", 1)
+    """) == []
+
+
+# -- MR104 float time equality -------------------------------------------------
+
+def test_mr104_flags_time_equality():
+    found = run_rule("MR104", "core/dplus.py", """
+        def check(env, task):
+            return env.now == task.finish_time
+    """)
+    assert len(found) == 1
+    assert "==" in found[0].message
+
+
+def test_mr104_allows_sentinel_and_ordering_compares():
+    assert run_rule("MR104", "core/dplus.py", """
+        def check(env, task):
+            if task.finish_time == 0.0:
+                return False
+            return env.now >= task.deadline
+    """) == []
+
+
+# -- MR105 cross-run state -----------------------------------------------------
+
+def test_mr105_flags_module_counter_and_cache():
+    found = run_rule("MR105", "core/ampool.py", """
+        import itertools
+        _ids = itertools.count(1)
+        _cache = {}
+    """)
+    assert sorted(f.message.split("`")[1] for f in found) == [
+        "_cache = {}", "_ids = itertools.count(1)"]
+
+
+def test_mr105_flags_global_statement():
+    found = run_rule("MR105", "experiments/parallel.py", """
+        _jobs = 1
+        def set_jobs(n):
+            global _jobs
+            _jobs = n
+    """)
+    assert len(found) == 1
+    assert "global _jobs" in found[0].message
+
+
+def test_mr105_allows_constant_tables_and_instance_state():
+    assert run_rule("MR105", "core/ampool.py", """
+        import itertools
+        MODES = {"dplus": 1, "uplus": 2}
+        NAMES = ["a", "b"]
+        class Pool:
+            def __init__(self):
+                self._ids = itertools.count(1)
+                self.cache = {}
+    """) == []
+
+
+# -- line/column precision -----------------------------------------------------
+
+def test_findings_carry_precise_location():
+    [finding] = run_rule("MR102", "yarn/scheduler.py", """
+        import time
+
+        def stamp():
+            return time.time()
+    """)
+    assert finding.line == 5
+    assert finding.path == "yarn/scheduler.py"
+    assert finding.render().startswith("yarn/scheduler.py:5:")
+
+
+# -- baseline workflow ---------------------------------------------------------
+
+def test_baseline_keys_survive_line_moves_not_edits():
+    module = ModuleSource.parse("src/repro/x.py", "yarn/x.py",
+                                "import time\n\ndef f():\n    return time.time()\n")
+    [rule] = [r for r in all_rules() if r.code == "MR102"]
+    [finding] = rule.check(module)
+    key = finding.baseline_key(module.line_text(finding.line))
+    baseline = Baseline(entries={key: 1})
+    baselined, new = baseline.split([(finding, module.line_text(finding.line))])
+    assert len(baselined) == 1 and not new
+    # Same line shifted two lines down: still baselined (content-keyed).
+    moved = ModuleSource.parse(
+        "src/repro/x.py", "yarn/x.py",
+        "import time\n\n\n\ndef f():\n    return time.time()\n")
+    [finding2] = rule.check(moved)
+    baselined, new = baseline.split(
+        [(finding2, moved.line_text(finding2.line))])
+    assert len(baselined) == 1 and not new
+    # Edited line: the exception is re-reviewed.
+    edited_key = finding.baseline_key("return time.time()  # changed")
+    assert edited_key != key
+
+
+def test_baseline_count_budget_is_enforced():
+    baseline = Baseline(entries={"MR102::a.py::x": 1})
+    pairs = [(f, "x") for f in run_rule("MR102", "yarn/s.py", """
+        import time
+        def f():
+            return (time.time(), time.time())
+    """)]
+    assert len(pairs) == 2
+    # Wrong key: both new. Matching key with budget 1: one of each.
+    _, new = baseline.split(pairs)
+    assert len(new) == 2
+
+
+# -- whole-tree integration ----------------------------------------------------
+
+def test_live_tree_has_no_non_baselined_findings():
+    baseline = Baseline.find(SRC_ROOT)
+    assert baseline.path is not None, "lint_baseline.json missing"
+    result = analyze_paths([SRC_ROOT], baseline=baseline)
+    assert result.parse_errors == []
+    assert [f.render() for f in result.new] == []
+
+
+def test_every_baseline_entry_is_still_used():
+    """Stale baseline entries must be pruned, not accumulate."""
+    baseline = Baseline.find(SRC_ROOT)
+    result = analyze_paths([SRC_ROOT], baseline=baseline)
+    used = {}
+    for finding, line_text in result.findings:
+        key = finding.baseline_key(line_text)
+        used[key] = used.get(key, 0) + 1
+    for key, count in baseline.entries.items():
+        assert used.get(key, 0) >= count, f"stale baseline entry: {key}"
+
+
+def test_every_baseline_entry_has_justification():
+    baseline = Baseline.find(SRC_ROOT)
+    for key in baseline.entries:
+        assert key in baseline.notes and len(baseline.notes[key]) > 20, (
+            f"baseline entry without a why: {key}")
+
+
+def test_json_output_schema(capsys):
+    code = analysis_main(["--json", SRC_ROOT])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["version"] == 1
+    assert payload["new_count"] == 0
+    assert set(payload["rules"]) == set(rule_catalog())
+    for entry in payload["findings"]:
+        assert set(entry) >= {"path", "line", "col", "code", "message",
+                              "baselined"}
+        assert entry["code"] in payload["rules"]
+        assert entry["baselined"] is True
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    bad = tmp_path / "repro" / "yarn"
+    bad.mkdir(parents=True)
+    (bad / "hot.py").write_text(
+        "import time\n\ndef f():\n    return time.time()\n")
+    assert analysis_main(["--no-baseline", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "MR102" in out
+    (bad / "broken.py").write_text("def f(:\n")
+    assert analysis_main(["--no-baseline", str(bad)]) == 2
+
+
+def test_update_baseline_roundtrip(tmp_path, capsys):
+    tree = tmp_path / "repro" / "yarn"
+    tree.mkdir(parents=True)
+    (tree / "hot.py").write_text(
+        "import time\n\ndef f():\n    return time.time()\n")
+    baseline_path = tmp_path / "lint_baseline.json"
+    assert analysis_main(["--baseline", str(baseline_path),
+                          "--update-baseline", str(tree)]) == 0
+    capsys.readouterr()
+    assert analysis_main(["--baseline", str(baseline_path), str(tree)]) == 0
+
+
+# -- determinism sanitizer -----------------------------------------------------
+
+def test_scenario_digest_is_stable_in_process():
+    from repro.analysis.sanitize import scenario_digest
+    digest = scenario_digest()
+    assert digest["event_digest"] == digest["repeat_digest"]
+    assert digest["metrics_digest"] == digest["repeat_metrics_digest"]
+
+
+def test_sanitizer_passes_across_hash_seeds():
+    from repro.analysis.sanitize import run_sanitizer
+    lines = []
+    assert run_sanitizer((1, 2), echo=lines.append) == 0
+    assert any(line.startswith("OK event digest") for line in lines)

@@ -1,7 +1,5 @@
 """Tests for max-min fair sharing: FairShareDevice and SharedFabric."""
 
-import math
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

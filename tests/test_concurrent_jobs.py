@@ -1,7 +1,5 @@
 """Concurrent jobs sharing one cluster: contention, fairness, correctness."""
 
-import pytest
-
 from repro.cluster import ResourceVector
 from repro.config import MRapidConfig, a3_cluster
 from repro.core import build_mrapid_cluster, build_stock_cluster

@@ -4,12 +4,14 @@ import json
 
 import pytest
 
+from repro.config import a3_cluster
 from repro.experiments.export import (
     export_figures_json,
     figure_from_dict,
     figure_to_dict,
     job_result_to_dict,
 )
+from repro.experiments.figures import table2, wordcount_input
 from repro.experiments.harness import (
     ALL_MODES,
     HADOOP_DIST,
@@ -22,8 +24,6 @@ from repro.experiments.harness import (
     sweep,
 )
 from repro.experiments.plots import grouped_bars, line_chart, render_figure, share_bars
-from repro.experiments.figures import table2, wordcount_input
-from repro.config import a3_cluster
 
 
 def toy_figure():

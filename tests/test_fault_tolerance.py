@@ -11,7 +11,7 @@ import pytest
 
 from repro.cluster import ResourceVector
 from repro.config import HadoopConfig, a3_cluster
-from repro.core import build_mrapid_cluster, build_stock_cluster, run_stock_job
+from repro.core import build_mrapid_cluster, build_stock_cluster
 from repro.faults import FaultPlan, inject
 from repro.mapreduce import MODE_DISTRIBUTED, JobClient, SimJobSpec
 from repro.mapreduce.appmaster import JobFailed, OutputBus

@@ -19,7 +19,6 @@ import pytest
 from repro.config import HadoopConfig, a3_cluster
 from repro.core import build_mrapid_cluster, build_stock_cluster
 from repro.faults import (
-    ContainerFlakiness,
     FaultPlan,
     NodeCrash,
     inject,

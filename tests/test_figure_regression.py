@@ -26,7 +26,7 @@ import os
 
 import pytest
 
-from repro.experiments.figures import figure7, figure10, figure12
+from repro.experiments.figures import figure10, figure12, figure7
 
 SNAPSHOT = os.path.join(os.path.dirname(__file__), "snapshots", "figures.json")
 

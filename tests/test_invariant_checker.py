@@ -4,10 +4,9 @@ import pytest
 
 from repro.config import a3_cluster
 from repro.core import build_mrapid_cluster, build_stock_cluster, run_speculative
-from repro.mapreduce import MODE_DISTRIBUTED, MODE_UBER, JobClient
+from repro.mapreduce import MODE_DISTRIBUTED, MODE_UBER, JobClient, SimJobSpec
 from repro.simulation.debug import InvariantChecker
 from repro.workloads import WORDCOUNT_PROFILE
-from repro.mapreduce import SimJobSpec
 
 
 def wc(cluster, n=8):

@@ -1,6 +1,5 @@
 """Tests for repartition (reduce-side) and broadcast (map-side) joins."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -13,7 +13,7 @@ from repro.mapreduce.spec import MapOutput, TaskRecord
 from repro.mapreduce.tasks import sim_map_task, sim_reduce_task
 from repro.simcluster import SimCluster
 from repro.simulation.resources import Store
-from repro.workloads.base import TERASORT_PROFILE, WORDCOUNT_PROFILE, WorkloadProfile, pi_profile
+from repro.workloads.base import TERASORT_PROFILE, WORDCOUNT_PROFILE, pi_profile
 
 
 def wc_cluster(n_files=4, file_mb=10.0, nodes=4, conf=None):

@@ -1,16 +1,14 @@
 """Tests for instrumentation (TimeSeries/EventLog), config, and calibration."""
 
-import dataclasses
-
 import pytest
 
 from repro.calibration import calibrate_pi, calibrate_terasort, calibrate_wordcount
 from repro.config import (
     INSTANCE_TYPES,
+    STOCK_DPLUS,
     ClusterSpec,
     HadoopConfig,
     MRapidConfig,
-    STOCK_DPLUS,
     a2_cluster,
     a3_cluster,
 )

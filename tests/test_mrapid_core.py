@@ -4,15 +4,13 @@ decision maker, speculation."""
 import pytest
 
 from repro.cluster import ResourceVector
-from repro.config import HadoopConfig, MRapidConfig, a3_cluster
+from repro.config import MRapidConfig, a3_cluster
 from repro.core import (
-    MODE_DPLUS,
     MODE_UPLUS,
     DecisionMaker,
     DPlusScheduler,
     EstimatorInputs,
     JobHistory,
-    SubmissionFramework,
     build_mrapid_cluster,
     build_stock_cluster,
     crossover_maps,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cluster import ResourceVector
-from repro.config import ClusterSpec, INSTANCE_TYPES, a3_cluster
+from repro.config import a3_cluster
 from repro.simcluster import SimCluster
 from repro.yarn import (
     Application,

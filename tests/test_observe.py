@@ -12,7 +12,6 @@ from repro.observe import (
     analyze_job,
     install_tracer,
     run_profiled,
-    to_trace_events,
     validate_trace_events,
 )
 from repro.simulation.core import Environment

@@ -4,8 +4,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cluster import ClusterNetwork, Node, ResourceVector, Topology
-from repro.config import ClusterSpec, INSTANCE_TYPES
+from repro.cluster import ClusterNetwork, Node, ResourceVector
+from repro.config import INSTANCE_TYPES, ClusterSpec
 from repro.core.dplus import DPlusScheduler
 from repro.simcluster import SimCluster
 from repro.simulation import Environment

@@ -5,13 +5,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.simulation import (
-    AllOf,
     AnyOf,
     Environment,
     Interrupt,
     PriorityResource,
     Resource,
-    SimulationError,
     Store,
 )
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import MRapidConfig, a3_cluster
+from repro.config import a3_cluster
 from repro.core import build_mrapid_cluster, build_stock_cluster
 from repro.sparklite import SparkLiteRunner, SparkStage, stage_from_profile, validate_dag
 from repro.workloads import WORDCOUNT_PROFILE

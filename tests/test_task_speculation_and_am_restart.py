@@ -14,8 +14,8 @@ from repro.faults import FaultPlan, inject
 from repro.mapreduce import MODE_DISTRIBUTED, JobClient, SimJobSpec
 from repro.mapreduce.appmaster import OutputBus
 from repro.mapreduce.spec import MapOutput
-from repro.workloads import WORDCOUNT_PROFILE
 from repro.simulation import Environment
+from repro.workloads import WORDCOUNT_PROFILE
 
 
 def wc_spec(cluster, n=8, mb=10.0, profile=WORDCOUNT_PROFILE, prefix="/wc"):
