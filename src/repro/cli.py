@@ -50,10 +50,11 @@ def _all_figures() -> dict:
     from .experiments import ALL_FIGURES
     from .experiments.chaos import CHAOS_FIGURES
     from .experiments.extended import EXTENDED_FIGURES
+    from .experiments.loadsweep import LOAD_FIGURES
     from .experiments.overhead import OBSERVE_FIGURES
 
     return {**ALL_FIGURES, **EXTENDED_FIGURES, **CHAOS_FIGURES,
-            **OBSERVE_FIGURES}
+            **OBSERVE_FIGURES, **LOAD_FIGURES}
 
 
 def cmd_figures(_args) -> int:
@@ -143,24 +144,72 @@ def cmd_run(args) -> int:
     return 0
 
 
+#: ``repro trace --mode`` values -> replay strategies.
+TRACE_MODES = {
+    "stock": "stock-auto",
+    "dplus": "mrapid-dplus",
+    "uplus": "mrapid-uplus",
+    "speculative": "mrapid-speculative",
+}
+
+
+def _print_load_report(report, as_json: bool, detailed: bool) -> None:
+    import json as _json
+
+    if as_json:
+        print(_json.dumps(report.to_dict(), indent=1, sort_keys=True))
+        return
+    print(report.summary())
+    if detailed:
+        print(f"  sojourn     {report.sojourn}")
+        print(f"  slowdown    {report.slowdown}")
+        print(f"  queue depth {report.queue_depth} "
+              f"(peak {report.peak_in_flight})")
+        decisions = ", ".join(f"{k}: {v}" for k, v in sorted(report.decisions.items()))
+        print(f"  decisions   {decisions or '-'}")
+        print(f"  makespan    {report.makespan_s:.1f}s  "
+              f"killed {report.killed}  failed {report.failed}")
+
+
 def cmd_trace(args) -> int:
+    from .config import HadoopConfig
     from .trace import (
         STRATEGY_SPECULATIVE,
         STRATEGY_STOCK,
         default_short_job_mix,
+        parse_trace_file,
         poisson_trace,
-        replay_trace,
+        run_load,
+        template_baselines,
     )
 
     mix = default_short_job_mix()
-    trace = poisson_trace(mix, args.rate, args.minutes * 60.0, seed=args.seed)
-    print(f"{len(trace)} job arrivals over {args.minutes} min "
-          f"(rate {args.rate}/min, seed {args.seed})")
+    spec = _cluster_spec(args.cluster)
+    conf = HadoopConfig(am_resource_fraction=args.am_fraction)
+    if args.trace_file:
+        with open(args.trace_file) as f:
+            trace = parse_trace_file(f.read(), mix)
+        duration_s = trace[-1].arrival_s if trace else 0.0
+        if not args.json:
+            print(f"{len(trace)} job arrivals from {args.trace_file} "
+                  f"(scheduler {args.scheduler})")
+    else:
+        duration_s = args.minutes * 60.0
+        trace = poisson_trace(mix, args.rate, duration_s, seed=args.seed)
+        if not args.json:
+            print(f"{len(trace)} job arrivals over {args.minutes} min "
+                  f"(rate {args.rate}/min, seed {args.seed}, "
+                  f"scheduler {args.scheduler})")
 
-    stock = build_stock_cluster(_cluster_spec(args.cluster))
-    print(replay_trace(stock, trace, STRATEGY_STOCK).summary())
-    mrapid = build_mrapid_cluster(_cluster_spec(args.cluster))
-    print(replay_trace(mrapid, trace, STRATEGY_SPECULATIVE).summary())
+    strategies = ([TRACE_MODES[args.mode]] if args.mode
+                  else [STRATEGY_STOCK, STRATEGY_SPECULATIVE])
+    baselines = template_baselines(spec, mix, conf=conf)
+    for strategy in strategies:
+        report = run_load(spec, mix, args.rate, duration_s,
+                          scheduler=args.scheduler, strategy=strategy,
+                          conf=conf, seed=args.seed, keep_jobs=args.json,
+                          baselines=baselines, trace=trace)
+        _print_load_report(report, args.json, args.report)
     return 0
 
 
@@ -384,6 +433,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--minutes", type=float, default=5.0)
     p.add_argument("--seed", type=int, default=11)
     p.add_argument("--cluster", default="a3", choices=["a3", "a2"])
+    p.add_argument("--trace-file", default=None, metavar="FILE",
+                   help="replay '<arrival_s> <template>' lines from FILE "
+                        "instead of generating Poisson arrivals")
+    p.add_argument("--scheduler", default="fifo",
+                   choices=["fifo", "capacity", "hfsp"],
+                   help="RM scheduler for the replay cluster")
+    p.add_argument("--mode", default=None, choices=sorted(TRACE_MODES),
+                   help="submission strategy (default: compare stock and "
+                        "speculative)")
+    p.add_argument("--am-fraction", type=float, default=0.3,
+                   help="maximum-am-resource-percent analog; <1 enables AM "
+                        "admission control so scheduling order matters")
+    p.add_argument("--json", action="store_true",
+                   help="full streaming report as JSON, with a per-job "
+                        "decision column")
+    p.add_argument("--report", action="store_true",
+                   help="print sojourn/slowdown/queue-depth percentiles and "
+                        "mode decisions")
     p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("spark", help="run the §VI Spark-migration ladder")

@@ -117,6 +117,13 @@ class HadoopConfig:
     am_memory_mb: int = 1536
     am_vcores: int = 1
     containers_per_core: int = 1       # Fig 12 varies this via vcore multiplier
+    #: yarn.scheduler.capacity.maximum-am-resource-percent: at most this
+    #: fraction of cluster memory may be held by ApplicationMaster
+    #: containers; further apps wait in the AM queue. 1.0 (no limit)
+    #: preserves the one-shot figure behaviour; the heavy-traffic replay
+    #: harness lowers it so admission control (and hence job *ordering*)
+    #: matters, as on a real loaded cluster.
+    am_resource_fraction: float = 1.0
 
     # -- MapReduce behaviour ----------------------------------------------------
     block_size_mb: float = DEFAULT_BLOCK_SIZE_MB

@@ -30,6 +30,9 @@ class SpeculationOutcome:
     from_history: bool = False
     killed_mode: Optional[str] = None
     decision_time: float = 0.0
+    #: The killed mode's (partial) result when both modes launched — lets
+    #: callers clean up the loser's artifacts (e.g. its HDFS output path).
+    loser: Optional[JobResult] = None
 
     @property
     def elapsed(self) -> float:
@@ -133,24 +136,25 @@ class SpeculativeExecutor:
                 killed = "dplus"
             winner_result: JobResult = yield h_u.proc
             winner_mode = "uplus"
-            loser_proc = h_d.proc
+            loser_handle = h_d
         else:
             if killed is None:
                 h_u.kill("speculation: D+ finished first")
                 killed = "uplus"
             winner_result = yield h_d.proc
             winner_mode = "dplus"
-            loser_proc = h_u.proc
+            loser_handle = h_u
 
         # Drain the loser's client process (it returns a killed result).
-        if loser_proc.is_alive:
-            yield loser_proc
+        if loser_handle.proc.is_alive:
+            yield loser_handle.proc
 
         if decision is None:
             decision_time = env.now
         outcome = SpeculationOutcome(
             winner=winner_result, winner_mode=winner_mode, decision=decision,
             killed_mode=killed, decision_time=decision_time,
+            loser=loser_handle.result,
         )
         # Wins by forfeit (the other mode crashed) or faulted winners say
         # nothing about relative speed — don't poison the history with them.

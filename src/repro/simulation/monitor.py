@@ -8,8 +8,9 @@ finished") without coupling model code to any output format.
 from __future__ import annotations
 
 import bisect
+from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Optional
+from typing import TYPE_CHECKING, Any, MutableSequence, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from .core import Environment
@@ -75,10 +76,21 @@ class EventLog:
     """Timestamped marks emitted by model components during a run."""
 
     def __init__(self) -> None:
-        self.marks: list[Mark] = []
+        self.marks: MutableSequence[Mark] = []
 
     def mark(self, time: float, label: str, **data: Any) -> None:
         self.marks.append(Mark(time, label, data))
+
+    def bound(self, limit: int) -> None:
+        """Cap retention at the most recent ``limit`` marks (ring buffer).
+
+        One-shot figure runs keep every mark for post-run inspection; a
+        long-lived replay cluster would otherwise accumulate a few marks
+        per job forever. Idempotent; re-bounding keeps the newest marks.
+        """
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        self.marks = deque(self.marks, maxlen=limit)
 
     def filter(self, label: str) -> list[Mark]:
         return [m for m in self.marks if m.label == label]

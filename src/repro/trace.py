@@ -6,13 +6,27 @@ cluster. This module generates deterministic Poisson arrival traces over a
 job mix and replays them against one shared simulated cluster, measuring
 per-job response times (sojourn = finish - arrival) under each submission
 strategy. Used by the pool-sizing and burst-throughput benchmarks.
+
+Two replay drivers coexist:
+
+* :func:`replay_trace` — the original closed-scope runner; keeps every
+  per-job response in a :class:`TraceStats` list. Fine for dozens of jobs.
+* :func:`replay_load` — the heavy-traffic runner: open-loop arrivals
+  (arrival times never depend on completions), streaming P² percentiles
+  instead of per-job histories, and aggressive cleanup (HDFS input files
+  deleted, finished applications forgotten by the RM, the event log
+  bounded) so one long-lived cluster can absorb thousands of jobs at
+  bounded memory. Parse a trace file with :func:`parse_trace_file` or
+  synthesize one with :func:`poisson_trace`, then drive it through
+  :func:`run_load` which also picks the RM scheduler (stock FIFO-ish
+  CapacityScheduler, the multi-tenant capacity scheduler, or HFSP).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Generator, Sequence
+from typing import TYPE_CHECKING, Callable, Generator, Optional, Sequence
 
 import numpy as np
 
@@ -20,9 +34,12 @@ from .core.ampool import MODE_DPLUS, MODE_UPLUS
 from .core.speculation import SpeculativeExecutor
 from .mapreduce.client import MODE_AUTO, JobClient
 from .mapreduce.spec import SimJobSpec
+from .metrics import StreamingSummary
 from .workloads.base import WorkloadProfile
+from .yarn.resourcemanager import JobKilled
 
 if TYPE_CHECKING:  # pragma: no cover
+    from .config import ClusterSpec, HadoopConfig
     from .simcluster import SimCluster
 
 
@@ -173,3 +190,331 @@ def default_short_job_mix() -> list[JobTemplate]:
         JobTemplate("agg", WORDCOUNT_PROFILE, num_files=1, file_mb=8.0, weight=3),
         JobTemplate("sort", TERASORT_PROFILE, num_files=4, file_mb=12.0, weight=2),
     ]
+
+
+def parse_trace_file(text: str, mix: Sequence[JobTemplate]) -> list[TraceJob]:
+    """Parse a replay trace: one ``<arrival_s> <template_name>`` per line.
+
+    Blank lines and ``#`` comments are skipped. Arrivals must be
+    non-decreasing so the file is replayable open-loop; template names must
+    exist in ``mix``. Returns :class:`TraceJob` entries indexed in file
+    order.
+    """
+    by_name = {t.name: t for t in mix}
+    jobs: list[TraceJob] = []
+    last = 0.0
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise ValueError(f"trace line {lineno}: expected '<arrival_s> <template>'")
+        arrival = float(parts[0])
+        if arrival < last:
+            raise ValueError(f"trace line {lineno}: arrivals must be non-decreasing")
+        template = by_name.get(parts[1])
+        if template is None:
+            raise ValueError(f"trace line {lineno}: unknown template {parts[1]!r} "
+                             f"(known: {sorted(by_name)})")
+        jobs.append(TraceJob(arrival_s=arrival, template=template, index=len(jobs)))
+        last = arrival
+    return jobs
+
+
+# -- heavy-traffic replay ------------------------------------------------------
+
+SCHEDULER_FIFO = "fifo"
+SCHEDULER_CAPACITY = "capacity"
+SCHEDULER_HFSP = "hfsp"
+TRACE_SCHEDULERS = (SCHEDULER_FIFO, SCHEDULER_CAPACITY, SCHEDULER_HFSP)
+TRACE_STRATEGIES = (STRATEGY_STOCK, STRATEGY_DPLUS, STRATEGY_UPLUS,
+                    STRATEGY_SPECULATIVE)
+
+#: Ring-buffer size for the shared event log during replay (bounded RSS).
+_REPLAY_LOG_LIMIT = 4096
+
+
+def _make_trace_scheduler(name: str):
+    from .yarn.hfsp import HFSPScheduler
+    from .yarn.queues import MultiTenantCapacityScheduler, QueueConfig
+    from .yarn.scheduler import CapacityScheduler
+
+    if name == SCHEDULER_FIFO:
+        return CapacityScheduler()
+    if name == SCHEDULER_CAPACITY:
+        return MultiTenantCapacityScheduler([
+            QueueConfig("adhoc", fraction=0.7, max_fraction=1.0),
+            QueueConfig("batch", fraction=0.3, max_fraction=1.0),
+        ])
+    if name == SCHEDULER_HFSP:
+        return HFSPScheduler(memory_only=True)
+    raise ValueError(f"unknown trace scheduler {name!r}; use one of {TRACE_SCHEDULERS}")
+
+
+def default_queue_of(template_name: str) -> str:
+    """Tenant-queue routing for the capacity scheduler: sorts are 'batch'."""
+    return "batch" if template_name == "sort" else "adhoc"
+
+
+def build_trace_cluster(spec: "ClusterSpec", scheduler: str = SCHEDULER_FIFO,
+                        strategy: str = STRATEGY_STOCK,
+                        conf: Optional["HadoopConfig"] = None,
+                        seed: int = 7) -> "SimCluster":
+    """A long-lived cluster for trace replay: any scheduler × any strategy.
+
+    Unlike :func:`repro.core.submit.build_mrapid_cluster` (which hardwires
+    the D+ scheduler), this crosses the RM scheduler axis with the
+    submission-path axis: MRapid strategies get a
+    :class:`~repro.core.ampool.SubmissionFramework` attached whatever
+    scheduler is installed, so HFSP-under-MRapid is a valid cell of the
+    load-sweep matrix.
+    """
+    from .config import MRapidConfig
+    from .core.ampool import SubmissionFramework
+    from .simcluster import SimCluster
+
+    cluster = SimCluster(spec, conf=conf, scheduler=_make_trace_scheduler(scheduler),
+                         seed=seed)
+    if strategy != STRATEGY_STOCK:
+        cluster.mrapid_framework = SubmissionFramework(  # type: ignore[attr-defined]
+            cluster, MRapidConfig())
+    return cluster
+
+
+def template_baselines(spec: "ClusterSpec", mix: Sequence[JobTemplate],
+                       conf: Optional["HadoopConfig"] = None,
+                       seed: int = 7) -> dict[str, float]:
+    """Idle-cluster service time per template (the slowdown denominator).
+
+    Always measured on the stock scheduler/stock path so slowdowns are
+    comparable across every scheduler × strategy cell of a sweep.
+    """
+    baselines: dict[str, float] = {}
+    for template in mix:
+        cluster = build_trace_cluster(spec, conf=conf, seed=seed)
+        paths = cluster.load_input_files(f"/baseline/{template.name}",
+                                         template.num_files, template.file_mb)
+        job_spec = SimJobSpec(template.name, tuple(paths), template.profile,
+                              signature=template.name)
+        result = JobClient(cluster).run(job_spec, MODE_AUTO)
+        baselines[template.name] = result.elapsed
+    return baselines
+
+
+@dataclass
+class LoadReport:
+    """Streaming-aggregate outcome of one heavy-traffic replay.
+
+    Deliberately holds no per-job lists unless ``keep_jobs`` was requested:
+    sojourn/slowdown/queue-depth distributions live in O(1)-memory
+    :class:`~repro.metrics.StreamingSummary` accumulators so a replay of
+    thousands of jobs costs the same RSS as a replay of ten.
+    """
+
+    strategy: str
+    scheduler: str = ""
+    rate_per_minute: float = 0.0
+    duration_s: float = 0.0
+    jobs_submitted: int = 0
+    jobs_completed: int = 0
+    killed: int = 0
+    failed: int = 0
+    makespan_s: float = 0.0
+    sojourn: StreamingSummary = field(default_factory=StreamingSummary)
+    slowdown: StreamingSummary = field(default_factory=StreamingSummary)
+    queue_depth: StreamingSummary = field(default_factory=StreamingSummary)
+    peak_in_flight: int = 0
+    #: Mode decisions actually taken, e.g. {"hadoop-uber": 41, ...}.
+    decisions: dict[str, int] = field(default_factory=dict)
+    #: Per-job rows, only populated when ``keep_jobs=True``.
+    per_job: list[dict] = field(default_factory=list)
+
+    def to_dict(self, digits: int = 6) -> dict:
+        """JSON-stable dict (used by the CLI and the determinism checks)."""
+        out = {
+            "strategy": self.strategy,
+            "scheduler": self.scheduler,
+            "rate_per_minute": round(self.rate_per_minute, digits),
+            "duration_s": round(self.duration_s, digits),
+            "jobs_submitted": self.jobs_submitted,
+            "jobs_completed": self.jobs_completed,
+            "killed": self.killed,
+            "failed": self.failed,
+            "makespan_s": round(self.makespan_s, digits),
+            "peak_in_flight": self.peak_in_flight,
+            "sojourn": self.sojourn.to_dict(digits),
+            "slowdown": self.slowdown.to_dict(digits),
+            "queue_depth": self.queue_depth.to_dict(digits),
+            "decisions": {k: self.decisions[k] for k in sorted(self.decisions)},
+        }
+        if self.per_job:
+            out["jobs"] = self.per_job
+        return out
+
+    def summary(self) -> str:
+        return (f"{self.scheduler or 'fifo'}/{self.strategy}: "
+                f"{self.jobs_completed}/{self.jobs_submitted} jobs, "
+                f"sojourn mean {self.sojourn.mean:.1f}s "
+                f"p95 {self.sojourn.p95:.1f}s p99 {self.sojourn.p99:.1f}s, "
+                f"peak in-flight {self.peak_in_flight}")
+
+
+def replay_load(cluster: "SimCluster", trace: Sequence[TraceJob],
+                strategy: str = STRATEGY_STOCK, *,
+                baselines: Optional[dict[str, float]] = None,
+                keep_jobs: bool = False,
+                queue_of: Optional[Callable[[str], str]] = None) -> LoadReport:
+    """Open-loop replay of ``trace`` on one long-lived cluster.
+
+    Arrivals are driven by a single generator clocked purely off the trace
+    (never off completions), so offered load is independent of how far the
+    cluster falls behind — the heavy-traffic regime the closed-loop
+    :func:`replay_trace` cannot produce. Per-job state is discarded as jobs
+    finish: input files are deleted from HDFS, the RM forgets terminal
+    applications, and the shared event log is bounded, keeping peak RSS
+    flat in trace length. Metrics stream into :class:`LoadReport`.
+
+    ``baselines`` (template name -> idle service time) enables slowdown
+    accounting; ``queue_of`` routes templates to tenant queues when the
+    cluster runs the multi-tenant scheduler.
+    """
+    env = cluster.env
+    framework = getattr(cluster, "mrapid_framework", None)
+    if strategy != STRATEGY_STOCK and framework is None:
+        raise ValueError("MRapid strategies need a cluster with a SubmissionFramework "
+                         "(build_trace_cluster or build_mrapid_cluster)")
+    executor = (SpeculativeExecutor(framework)
+                if strategy == STRATEGY_SPECULATIVE else None)
+    client = JobClient(cluster) if strategy == STRATEGY_STOCK else None
+    report = LoadReport(strategy=strategy, jobs_submitted=len(trace))
+    if not trace:
+        return report
+
+    cluster.log.bound(_REPLAY_LOG_LIMIT)
+    cluster.rm.retain_finished_apps = False
+    tracer = env.tracer
+
+    in_flight = 0
+    completed = 0
+    all_submitted = False
+    done = env.event()
+
+    def note_depth() -> None:
+        report.queue_depth.add(float(in_flight))
+        report.peak_in_flight = max(report.peak_in_flight, in_flight)
+
+    def one_job(job: TraceJob) -> Generator:
+        nonlocal in_flight, completed
+        paths = cluster.load_input_files(
+            f"/trace/{job.index:05d}", job.template.num_files, job.template.file_mb)
+        spec = SimJobSpec(job.template.name, tuple(paths), job.template.profile,
+                          signature=job.signature)
+        outputs: list[str] = []
+        try:
+            decision = "killed"
+            result = None
+            try:
+                if strategy == STRATEGY_STOCK:
+                    queue = queue_of(job.template.name) if queue_of is not None else None
+                    result = yield client.submit(spec, MODE_AUTO, queue=queue)
+                    decision = result.mode
+                elif strategy == STRATEGY_SPECULATIVE:
+                    outcome = yield executor.submit(spec)
+                    result = outcome.winner
+                    decision = f"mrapid-{outcome.winner_mode}"
+                    if outcome.loser is not None:
+                        outputs.append(f"/out/{outcome.loser.app_id}")
+                else:
+                    mode = MODE_DPLUS if strategy == STRATEGY_DPLUS else MODE_UPLUS
+                    handle = framework.submit(spec, mode)
+                    result = yield handle.proc
+                    decision = result.mode
+            except JobKilled:
+                report.killed += 1
+            sojourn = env.now - job.arrival_s
+            if result is not None:
+                if result.killed:
+                    report.killed += 1
+                elif result.failed:
+                    report.failed += 1
+                else:
+                    report.sojourn.add(sojourn)
+                    baseline = (baselines or {}).get(job.template.name, 0.0)
+                    if baseline > 0:
+                        report.slowdown.add(sojourn / baseline)
+                    report.decisions[decision] = report.decisions.get(decision, 0) + 1
+                    if keep_jobs:
+                        report.per_job.append({
+                            "index": job.index, "name": job.template.name,
+                            "arrival_s": round(job.arrival_s, 6),
+                            "sojourn_s": round(sojourn, 6),
+                            "decision": decision,
+                        })
+            if tracer is not None:
+                from .observe.tracer import CLUSTER
+                tracer.complete(job.template.name, "trace-job", CLUSTER,
+                                f"trace:{job.template.name}", job.arrival_s,
+                                index=job.index, decision=decision,
+                                sojourn_s=round(sojourn, 6))
+        finally:
+            if result is not None:
+                outputs.append(f"/out/{result.app_id}")
+            for path in paths + outputs:
+                if cluster.namenode.exists(path):
+                    cluster.namenode.delete(path)
+            in_flight -= 1
+            note_depth()
+            completed += 1
+            report.jobs_completed = completed
+            if all_submitted and completed == len(trace) and not done.triggered:
+                done.succeed(None)
+
+    def arrivals() -> Generator:
+        nonlocal in_flight, all_submitted
+        for job in trace:
+            delay = job.arrival_s - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            in_flight += 1
+            note_depth()
+            env.process(one_job(job), name=f"trace-{job.index}")
+        all_submitted = True
+        if completed == len(trace) and not done.triggered:
+            done.succeed(None)
+
+    env.process(arrivals(), name="trace-arrivals")
+    env.run(until=done)
+    report.makespan_s = env.now
+    return report
+
+
+def run_load(spec: "ClusterSpec", mix: Sequence[JobTemplate],
+             rate_per_minute: float, duration_s: float, *,
+             scheduler: str = SCHEDULER_FIFO, strategy: str = STRATEGY_STOCK,
+             conf: Optional["HadoopConfig"] = None, seed: int = 11,
+             keep_jobs: bool = False,
+             baselines: Optional[dict[str, float]] = None,
+             trace: Optional[Sequence[TraceJob]] = None) -> LoadReport:
+    """Generate (or accept) a trace and replay it on a fresh cluster.
+
+    The one-call entry point the CLI and the load sweep use: picks the RM
+    scheduler, attaches the MRapid framework when the strategy needs it,
+    measures idle-cluster baselines for slowdowns, and streams the replay
+    through :func:`replay_load`.
+    """
+    if strategy not in TRACE_STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; use one of {TRACE_STRATEGIES}")
+    if trace is None:
+        trace = poisson_trace(mix, rate_per_minute, duration_s, seed=seed)
+    if baselines is None:
+        baselines = template_baselines(spec, mix, conf=conf)
+    cluster = build_trace_cluster(spec, scheduler=scheduler, strategy=strategy,
+                                  conf=conf)
+    queue_of = default_queue_of if scheduler == SCHEDULER_CAPACITY else None
+    report = replay_load(cluster, trace, strategy, baselines=baselines,
+                         keep_jobs=keep_jobs, queue_of=queue_of)
+    report.scheduler = scheduler
+    report.rate_per_minute = rate_per_minute
+    report.duration_s = duration_s
+    return report

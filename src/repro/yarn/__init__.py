@@ -1,5 +1,6 @@
 """Simulated YARN: ResourceManager, NodeManagers, schedulers, records."""
 
+from .hfsp import HFSPScheduler, SizeStats
 from .nodemanager import NodeManager
 from .queues import MultiTenantCapacityScheduler, QueueConfig, QueueState
 from .records import Application, Container, ContainerRequest, IdAllocator, NodeState
@@ -12,6 +13,7 @@ __all__ = [
     "CapacityScheduler",
     "Container",
     "ContainerRequest",
+    "HFSPScheduler",
     "IdAllocator",
     "JobKilled",
     "MultiTenantCapacityScheduler",
@@ -22,4 +24,5 @@ __all__ = [
     "QueueState",
     "ResourceManager",
     "SchedulerBase",
+    "SizeStats",
 ]

@@ -77,8 +77,11 @@ class MultiTenantCapacityScheduler(SchedulerBase):
         #: app_id -> queue name, set at submission.
         self.app_queue: dict[str, str] = {}
         #: Containers *this scheduler* granted (AM containers and pooled AMs
-        #: are allocated by the RM directly and must not touch queue usage).
-        self._granted: set[int] = set()
+        #: are allocated by the RM directly and must not touch queue usage),
+        #: mapped to the queue charged at grant time — release accounting
+        #: must not depend on ``app_queue``, which is cleaned when the app
+        #: finishes.
+        self._granted: dict[int, str] = {}
 
     # -- wiring -----------------------------------------------------------------
     def assign_app(self, app_id: str, queue: str) -> None:
@@ -117,7 +120,7 @@ class MultiTenantCapacityScheduler(SchedulerBase):
                     continue
                 container = self._grant(pending, node, memory_only=True)
                 queue.used_memory_mb += demand_mb
-                self._granted.add(container.container_id)
+                self._granted[container.container_id] = queue_name
                 self.queue.remove(pending)
                 grants.append((pending.app_id, container))
                 progressed = True
@@ -132,12 +135,16 @@ class MultiTenantCapacityScheduler(SchedulerBase):
 
     # -- release accounting ----------------------------------------------------------
     def on_container_released(self, container: Container) -> None:
-        if container.container_id not in self._granted:
+        queue_name = self._granted.pop(container.container_id, None)
+        if queue_name is None:
             return
-        self._granted.discard(container.container_id)
-        queue = self.queue_of(container.app_id)
+        queue = self.queues[queue_name]
         queue.used_memory_mb = max(
             0, queue.used_memory_mb - container.resource.memory_mb)
+
+    def remove_app(self, app_id: str) -> None:
+        super().remove_app(app_id)
+        self.app_queue.pop(app_id, None)
 
     # -- introspection ------------------------------------------------------------------
     def usage_report(self) -> dict[str, dict[str, float]]:

@@ -137,6 +137,10 @@ class Application:
     #: ``runner(am_context)`` -> generator; the ApplicationMaster main.
     runner: Callable[[Any], Any]
     submit_time: float = 0.0
+    #: When the AM actually started (0.0 until launch). ``launch_time -
+    #: submit_time`` is the allocation wait; size-based schedulers use
+    #: ``finish - launch_time`` as the job's load-independent service time.
+    launch_time: float = 0.0
     am_container: Optional[Container] = None
     #: Fires when the AM starts executing (after launch), value = node_id.
     am_started: Optional["Event"] = None

@@ -56,6 +56,16 @@ class ResourceManager:
         #: Callbacks fired on node_lost(node_id) — e.g. the MRapid submission
         #: framework killing pooled-AM jobs whose slave died with the node.
         self.node_lost_listeners: list[Any] = []
+        #: AM admission control (maximum-am-resource-percent): memory held
+        #: by RM-allocated AM containers, and which container ids are AMs.
+        self.am_memory_used_mb: int = 0
+        self._am_container_ids: set[int] = set()
+        #: One-shot figure runs keep every Application for post-run
+        #: inspection. The heavy-traffic replay driver flips this off so
+        #: terminal apps are forgotten immediately (bounded RSS over
+        #: thousands of jobs — including speculation losers, whose app ids
+        #: the driver never sees).
+        self.retain_finished_apps: bool = True
 
     # -- wiring ---------------------------------------------------------------
     def next_app_id(self, prefix: str = "app") -> str:
@@ -110,11 +120,14 @@ class ResourceManager:
         self._launch_am(app, launch_delay=launch_delay)
 
     def application_finished(self, app: Application, result: Any) -> None:
+        self.scheduler.on_app_finished(app)
         self.scheduler.remove_app(app.app_id)
         self._ready.pop(app.app_id, None)
         if app.finished is not None and not app.finished.triggered:
             app.finished.succeed(result)
         self.log.mark(self.env.now, "app_finished", app_id=app.app_id)
+        if not self.retain_finished_apps:
+            self.forget_application(app.app_id)
 
     def kill_application(self, app: Application, cause: Any = "killed") -> None:
         """Terminate an application: AM process interrupted, asks dropped."""
@@ -132,6 +145,8 @@ class ResourceManager:
             app.finished.fail(JobKilled(app.app_id, cause))
             app.finished.defuse()
         self.log.mark(self.env.now, "app_killed", app_id=app.app_id)
+        if not self.retain_finished_apps:
+            self.forget_application(app.app_id)
 
     # -- heartbeat entry points ------------------------------------------------------
     def node_heartbeat(self, node_id: str) -> None:
@@ -146,10 +161,18 @@ class ResourceManager:
         # The resource calculator matches the installed scheduler's (stock
         # Hadoop 2.2 = memory-only).
         memory_only = getattr(self.scheduler, "memory_only", False)
-        for app in list(self._am_queue):
+        am_limit_mb = self.conf.am_resource_fraction * self.total_capability().memory_mb
+        for app in self.scheduler.am_queue_order(list(self._am_queue)):
+            if self.am_memory_used_mb + app.am_resource.memory_mb > am_limit_mb + 1e-9:
+                # maximum-am-resource-percent reached: the head-of-line app
+                # (in scheduler order) blocks admission, like the real
+                # CapacityScheduler's AM-limit check.
+                break
             if node.can_fit(app.am_resource, memory_only=memory_only):
                 container = Container(self.next_container_id(), node_id, app.am_resource, app.app_id)
                 node.allocate(app.am_resource, memory_only=memory_only)
+                self.am_memory_used_mb += app.am_resource.memory_mb
+                self._am_container_ids.add(container.container_id)
                 app.am_container = container
                 self._am_queue.remove(app)
                 self._launch_am(app)
@@ -197,11 +220,33 @@ class ResourceManager:
             node.used_vcores = 0
         self.log.mark(self.env.now, "node_rejoined", node=node_id)
 
+    def forget_application(self, app_id: str) -> None:
+        """Drop a *finished* application's bookkeeping.
+
+        The RM keeps every Application record for post-run inspection,
+        which is fine for one-shot figures but unbounded on a long-lived
+        cluster replaying thousands of jobs. The replay driver calls this
+        after it has extracted a job's result; forgetting a live app is an
+        error.
+        """
+        app = self.apps.get(app_id)
+        if app is None:
+            return
+        if not app.killed and (app.finished is None or not app.finished.triggered):
+            raise ValueError(f"cannot forget live application {app_id}")
+        self.apps.pop(app_id, None)
+        self._am_attempts.pop(app_id, None)
+        self._am_processes.pop(app_id, None)
+        self._ready.pop(app_id, None)
+
     # -- container accounting ----------------------------------------------------------
     def container_finished(self, container: Container) -> None:
         node = self.nodes.get(container.node_id)
         if node is not None:
             node.release(container.resource)
+        if container.container_id in self._am_container_ids:
+            self._am_container_ids.discard(container.container_id)
+            self.am_memory_used_mb -= container.resource.memory_mb
         self.scheduler.on_container_released(container)
 
     # -- internals -----------------------------------------------------------------------
@@ -233,9 +278,12 @@ class ResourceManager:
         if app.finished is not None and not app.finished.triggered:
             app.finished.fail(exc)
             self.log.mark(self.env.now, "app_failed", app_id=app.app_id)
+        if not self.retain_finished_apps:
+            self.forget_application(app.app_id)
 
     def _launch_am(self, app: Application, launch_delay: Optional[float] = None) -> None:
         nm = self.node_managers[app.am_container.node_id]
+        app.launch_time = self.env.now
         ctx = AMContext(self, app, app.am_container)
 
         def am_body() -> Generator:

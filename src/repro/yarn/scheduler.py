@@ -60,12 +60,25 @@ class SchedulerBase:
         """NM heartbeat; returns (app_id, container) grants made now."""
         return []
 
+    def am_queue_order(self, apps: list) -> list:
+        """Order in which queued AMs are served on a node heartbeat.
+
+        Stock YARN allocates AMs first-come-first-served; size-based
+        schedulers (HFSP) override this, since under short-job-heavy
+        traffic most jobs are uberized and AM allocation order *is* the
+        job order.
+        """
+        return apps
+
     def remove_app(self, app_id: str) -> None:
         """Drop queued asks of a finished/killed application."""
         self.queue = [p for p in self.queue if p.app_id != app_id]
 
     def on_container_released(self, container: Container) -> None:
         """Hook: a granted container's resources returned (queue accounting)."""
+
+    def on_app_finished(self, app) -> None:
+        """Hook: an application completed (schedulers learning job sizes)."""
 
     # -- helpers ----------------------------------------------------------------
     def _grant(self, pending: PendingAsk, node: NodeState,
