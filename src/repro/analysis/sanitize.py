@@ -27,21 +27,31 @@ from typing import Callable, Optional
 
 
 def scenario_digest() -> dict[str, str]:
-    """Run the reference scenario twice in-process; return both digests.
+    """Run the reference scenarios twice in-process; return all digests.
 
     ``event_digest`` hashes the (class-name, time) sequence of every
     event the kernel processed; ``metrics_digest`` hashes the scenario's
     headline numbers. ``repeat_digest`` is the event digest of a second
     run in the same process — it must equal ``event_digest`` or some
-    module-level state survived the first run.
+    module-level state survived the first run. The ``serving_*`` keys
+    repeat the exercise on the serving-mode scenario (admission +
+    autoscaling replay under node churn), whose timer wheel — retry
+    backoffs, provision delays, drain decisions — is a separate surface
+    for hash-order leaks.
     """
     first = _run_scenario()
     second = _run_scenario()
+    serving_first = _run_serving_scenario()
+    serving_second = _run_serving_scenario()
     return {
         "event_digest": first[0],
         "metrics_digest": first[1],
         "repeat_digest": second[0],
         "repeat_metrics_digest": second[1],
+        "serving_event_digest": serving_first[0],
+        "serving_metrics_digest": serving_first[1],
+        "serving_repeat_digest": serving_second[0],
+        "serving_repeat_metrics_digest": serving_second[1],
     }
 
 
@@ -84,6 +94,38 @@ def _run_scenario() -> tuple[str, str]:
     return event_h.hexdigest(), metrics_h.hexdigest()
 
 
+def _run_serving_scenario() -> tuple[str, str]:
+    """Serving-mode digest: churn + admission + autoscaling replay.
+
+    Small (≈30 arrivals) but crosses every serving code path that owns a
+    timer or a queue: rejection retry backoff, shed batch jobs, degraded
+    dispatch, node crash/rejoin, provisioning, and idle drains.
+    """
+    from repro.config import HadoopConfig, ServingConfig, a3_cluster
+    from repro.faults.plan import churn_plan
+    from repro.trace import (build_trace_cluster, default_serving_mix,
+                             poisson_trace, replay_load)
+
+    serving = ServingConfig(latency_deadline_s=75.0, slots_per_node=2,
+                            initial_guess_s=12.0, autoscale=True,
+                            min_nodes=3, max_nodes=6)
+    conf = HadoopConfig(am_resource_fraction=0.3, serving=serving)
+    cluster = build_trace_cluster(a3_cluster(3), conf=conf, seed=7)
+
+    event_h = hashlib.sha256()
+
+    def record(when: float, event: object) -> None:
+        event_h.update(f"{type(event).__name__}@{when!r};".encode())
+
+    cluster.env.tracers.append(record)
+
+    trace = poisson_trace(default_serving_mix(), 20.0, 90.0, seed=13)
+    report = replay_load(cluster, trace, fault_plan=churn_plan(90.0))
+    metrics_h = hashlib.sha256(
+        json.dumps(report.to_dict(), sort_keys=True).encode())
+    return event_h.hexdigest(), metrics_h.hexdigest()
+
+
 def _child_digest(hash_seed: int) -> dict[str, str]:
     env = dict(os.environ)
     env["PYTHONHASHSEED"] = str(hash_seed)
@@ -115,18 +157,23 @@ def run_sanitizer(seeds: tuple[int, int] = (1, 2),
 
     failures = []
     for run, digest in (("A", a), ("B", b)):
-        if digest["event_digest"] != digest["repeat_digest"]:
+        for scenario, prefix in (("", ""), ("serving ", "serving_")):
+            if (digest[f"{prefix}event_digest"]
+                    != digest[f"{prefix}repeat_digest"]):
+                failures.append(
+                    f"run {run}: repeated in-process {scenario}run diverged "
+                    f"(cross-run state leak — see rule MR105)")
+            if (digest[f"{prefix}metrics_digest"]
+                    != digest[f"{prefix}repeat_metrics_digest"]):
+                failures.append(
+                    f"run {run}: repeated {scenario}run changed metrics")
+    for scenario, prefix in (("", ""), ("serving ", "serving_")):
+        if a[f"{prefix}event_digest"] != b[f"{prefix}event_digest"]:
             failures.append(
-                f"run {run}: repeated in-process run diverged "
-                f"(cross-run state leak — see rule MR105)")
-        if digest["metrics_digest"] != digest["repeat_metrics_digest"]:
-            failures.append(f"run {run}: repeated run changed metrics")
-    if a["event_digest"] != b["event_digest"]:
-        failures.append(
-            "event order depends on PYTHONHASHSEED (hash-order leak — "
-            "see rule MR102)")
-    if a["metrics_digest"] != b["metrics_digest"]:
-        failures.append("metrics depend on PYTHONHASHSEED")
+                f"{scenario}event order depends on PYTHONHASHSEED "
+                f"(hash-order leak — see rule MR102)")
+        if a[f"{prefix}metrics_digest"] != b[f"{prefix}metrics_digest"]:
+            failures.append(f"{scenario}metrics depend on PYTHONHASHSEED")
 
     if failures:
         for line in failures:
@@ -138,4 +185,6 @@ def run_sanitizer(seeds: tuple[int, int] = (1, 2),
         f"seeds and repeats")
     say(f"OK metrics digest {a['metrics_digest'][:16]}… identical across "
         f"seeds and repeats")
+    say(f"OK serving digest {a['serving_event_digest'][:16]}… identical "
+        f"across seeds and repeats (churn + autoscale replay)")
     return 0

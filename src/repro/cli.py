@@ -52,9 +52,10 @@ def _all_figures() -> dict:
     from .experiments.extended import EXTENDED_FIGURES
     from .experiments.loadsweep import LOAD_FIGURES
     from .experiments.overhead import OBSERVE_FIGURES
+    from .experiments.slosweep import SLO_FIGURES
 
     return {**ALL_FIGURES, **EXTENDED_FIGURES, **CHAOS_FIGURES,
-            **OBSERVE_FIGURES, **LOAD_FIGURES}
+            **OBSERVE_FIGURES, **LOAD_FIGURES, **SLO_FIGURES}
 
 
 def cmd_figures(_args) -> int:
@@ -169,13 +170,29 @@ def _print_load_report(report, as_json: bool, detailed: bool) -> None:
         print(f"  decisions   {decisions or '-'}")
         print(f"  makespan    {report.makespan_s:.1f}s  "
               f"killed {report.killed}  failed {report.failed}")
+        if report.slo:
+            slo = report.slo
+            att = slo.get("attainment", {})
+            print(f"  slo         attainment {att.get('fraction', 1.0):.1%} "
+                  f"({att.get('hits', 0)}/{att.get('total', 0)})  "
+                  f"admitted {slo.get('admitted', 0)}  "
+                  f"rejected {slo.get('rejected', 0)}  "
+                  f"shed {slo.get('shed', 0)}  "
+                  f"retries {slo.get('retries', 0)}")
+            scaler = slo.get("autoscaler")
+            if scaler:
+                print(f"  autoscaler  +{scaler['scale_up_events']} "
+                      f"-{scaler['scale_down_events']} events, "
+                      f"{scaler['node_hours']:.3f} node-hours, "
+                      f"{scaler['final_billable_nodes']} billable nodes")
 
 
 def cmd_trace(args) -> int:
-    from .config import HadoopConfig
+    from .config import HadoopConfig, ServingConfig
     from .trace import (
         STRATEGY_SPECULATIVE,
         STRATEGY_STOCK,
+        default_serving_mix,
         default_short_job_mix,
         parse_trace_file,
         poisson_trace,
@@ -183,9 +200,21 @@ def cmd_trace(args) -> int:
         template_baselines,
     )
 
-    mix = default_short_job_mix()
+    serving = None
+    if args.slo:
+        kwargs = dict(latency_deadline_s=args.deadline, slots_per_node=2,
+                      initial_guess_s=12.0)
+        if args.autoscale is not None:
+            lo, hi = args.autoscale
+            if not 1 <= lo <= hi:
+                raise SystemExit("--autoscale needs 1 <= MIN <= MAX")
+            kwargs.update(autoscale=True, min_nodes=lo, max_nodes=hi)
+        serving = ServingConfig(**kwargs)
+    elif args.autoscale is not None:
+        raise SystemExit("--autoscale requires --slo")
+    mix = default_serving_mix() if args.slo else default_short_job_mix()
     spec = _cluster_spec(args.cluster)
-    conf = HadoopConfig(am_resource_fraction=args.am_fraction)
+    conf = HadoopConfig(am_resource_fraction=args.am_fraction, serving=serving)
     if args.trace_file:
         with open(args.trace_file) as f:
             trace = parse_trace_file(f.read(), mix)
@@ -201,6 +230,16 @@ def cmd_trace(args) -> int:
                   f"(rate {args.rate}/min, seed {args.seed}, "
                   f"scheduler {args.scheduler})")
 
+    fault_plan = None
+    if args.fault_plan:
+        from .faults.plan import named_plan
+
+        try:
+            fault_plan = named_plan(args.fault_plan, duration_s,
+                                    seed=args.fault_seed)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+
     strategies = ([TRACE_MODES[args.mode]] if args.mode
                   else [STRATEGY_STOCK, STRATEGY_SPECULATIVE])
     baselines = template_baselines(spec, mix, conf=conf)
@@ -208,7 +247,8 @@ def cmd_trace(args) -> int:
         report = run_load(spec, mix, args.rate, duration_s,
                           scheduler=args.scheduler, strategy=strategy,
                           conf=conf, seed=args.seed, keep_jobs=args.json,
-                          baselines=baselines, trace=trace)
+                          baselines=baselines, trace=trace,
+                          fault_plan=fault_plan)
         _print_load_report(report, args.json, args.report)
     return 0
 
@@ -451,6 +491,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--report", action="store_true",
                    help="print sojourn/slowdown/queue-depth percentiles and "
                         "mode decisions")
+    p.add_argument("--fault-plan", default=None, metavar="NAME",
+                   help="inject a named fault plan into the replay "
+                        "(churn, crash, gray)")
+    p.add_argument("--fault-seed", type=int, default=23,
+                   help="seed for the named fault plan's victim selection")
+    p.add_argument("--slo", action="store_true",
+                   help="serving mode: SLO-classed mix (scans/aggs latency, "
+                        "sorts batch), size-based admission control, "
+                        "overload degradation, per-job outcomes")
+    p.add_argument("--deadline", type=float, default=75.0,
+                   help="latency-class deadline in seconds (with --slo)")
+    p.add_argument("--autoscale", nargs=2, type=int, default=None,
+                   metavar=("MIN", "MAX"),
+                   help="with --slo: reactive autoscaling between MIN and "
+                        "MAX nodes (queue depth + SLO attainment signals)")
     p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("spark", help="run the §VI Spark-migration ladder")

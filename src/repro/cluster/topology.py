@@ -34,6 +34,13 @@ class Topology:
         for node in nodes:
             self._racks.setdefault(node.rack, []).append(node)
 
+    def add(self, node: Node) -> None:
+        """Register a node added after construction (elastic scale-up)."""
+        if node.node_id in self._nodes:
+            raise ValueError(f"duplicate node id {node.node_id!r}")
+        self._nodes[node.node_id] = node
+        self._racks.setdefault(node.rack, []).append(node)
+
     # -- lookup ------------------------------------------------------------
     def node(self, node_id: str) -> Node:
         return self._nodes[node_id]

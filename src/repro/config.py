@@ -8,6 +8,7 @@ evaluation reproduce; see DESIGN.md §6 and EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
 from .cluster.resources import ResourceVector
 
@@ -92,6 +93,77 @@ def a2_cluster(num_datanodes: int = 9) -> ClusterSpec:
                        racks=min(3, num_datanodes), name=f"A2x{num_datanodes}")
 
 
+#: SLO classes the serving layer distinguishes (:mod:`repro.serving`).
+SLO_LATENCY = "latency"
+SLO_BATCH = "batch"
+SLO_CLASSES = (SLO_LATENCY, SLO_BATCH)
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Knobs of the SLO-aware serving layer (:mod:`repro.serving`).
+
+    Attached to :class:`HadoopConfig` as ``conf.serving``; the default
+    ``None`` keeps every figure and replay byte-identical to the
+    pre-serving behaviour. Constructing one enables outcome accounting;
+    ``admission``/``degradation``/``autoscale`` gate the active policies.
+    """
+
+    # -- SLO classes ---------------------------------------------------------
+    #: Deadline applied to latency-class jobs whose template/trace line
+    #: does not carry an explicit one (seconds after arrival).
+    latency_deadline_s: float = 60.0
+
+    # -- admission control --------------------------------------------------
+    #: Size-based admission: reject latency jobs whose predicted sojourn
+    #: already busts their deadline, bound the pending queue, shed batch
+    #: work first. Off = every job is submitted straight to YARN.
+    admission: bool = True
+    #: Pending (admitted-but-not-yet-dispatched) queue bound.
+    max_pending: int = 24
+    #: Jobs dispatched concurrently per *healthy* node (the serving-layer
+    #: concurrency window in front of YARN's own AM admission control).
+    slots_per_node: int = 3
+    #: Instead of rejecting a latency job whose predicted sojourn busts its
+    #: deadline, demote it to batch (it runs, but its deadline is void).
+    downgrade_over_reject: bool = False
+    #: Client retry-with-backoff for rejected submissions: attempt n waits
+    #: ``retry_backoff_s * 2**(n-1)`` before re-offering, up to ``retry_max``
+    #: retries (0 = fail fast).
+    retry_backoff_s: float = 5.0
+    retry_max: int = 2
+
+    # -- overload degradation ladder -----------------------------------------
+    degradation: bool = True
+    #: Pending-queue fraction at which the ladder reaches level 1 (force
+    #: uber/U+ for latency jobs, suspend speculation for batch).
+    degrade_at_pending_fraction: float = 0.5
+
+    # -- reactive autoscaling -------------------------------------------------
+    autoscale: bool = False
+    min_nodes: int = 2
+    max_nodes: int = 8
+    #: Evaluation cadence of the autoscaler control loop (simulated s).
+    autoscale_interval_s: float = 5.0
+    #: Simulated VM boot + daemon start before a provisioned node joins.
+    provision_delay_s: float = 20.0
+    #: Consecutive calm evaluations required before draining a node.
+    scale_down_after_rounds: int = 4
+    #: Scale up when pending-per-healthy-node exceeds this.
+    scale_up_pending_per_node: float = 1.0
+    #: ... or when windowed latency SLO attainment falls below this.
+    attainment_floor: float = 0.9
+
+    # -- size estimator -------------------------------------------------------
+    #: Optimistic first guess for unseen job signatures (same first-samples
+    #: strategy as HFSP training) and the EWMA weight of new observations.
+    initial_guess_s: float = 8.0
+    estimator_alpha: float = 0.4
+
+    def with_(self, **kwargs) -> "ServingConfig":
+        return replace(self, **kwargs)
+
+
 @dataclass(frozen=True)
 class HadoopConfig:
     """Timing and sizing knobs of the simulated Hadoop 2.2 stack."""
@@ -153,6 +225,11 @@ class HadoopConfig:
     speculative_tasks: bool = False
     speculative_slowness: float = 1.5  # duplicate when elapsed > 1.5x avg
     speculative_min_completed: int = 1 # need this many finished maps first
+
+    # -- SLO-aware serving mode (repro.serving) ---------------------------------
+    #: ``None`` (the default) disables the serving layer entirely, keeping
+    #: every one-shot figure and replay byte-identical to earlier releases.
+    serving: Optional[ServingConfig] = None
 
     def effective_vcores(self, physical_cores: int) -> int:
         """Schedulable vcores a NodeManager advertises (Fig 12 knob)."""

@@ -1,0 +1,169 @@
+"""Figure S1: SLO attainment under overload + node churn (serving mode).
+
+The serving mode's headline experiment. The same SLO-classed short-job trace
+(latency-class scans/aggs with deadlines, batch sorts) is replayed under a
+steady node-churn fault plan against four provisioning disciplines:
+
+* ``static``      — 4 nodes, no admission, no autoscaling: the plain replay
+  target. Queues grow without bound under overload, every job suffers.
+* ``admission``   — 4 nodes + the size-based admission controller: latency
+  jobs that cannot make their deadline fail fast instead of missing slowly.
+* ``adm+scale``   — admission + reactive autoscaling (4..8 nodes): crashed
+  nodes are backfilled, backlog triggers scale-up, calm triggers drains.
+* ``peak-static`` — 8 nodes always on, no admission: the cost ceiling the
+  autoscaler must beat on node-hours.
+
+Series: latency-class SLO attainment (%), rejection+shed rate (%), and
+total node-hours, per arrival rate. The headline claim: under overload and
+churn, admission+autoscale holds attainment >= 90% while static
+provisioning drops below 50%, at fewer node-hours than peak provisioning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ..config import HadoopConfig, ServingConfig, a3_cluster
+from ..faults.plan import churn_plan
+from ..trace import LoadReport, default_serving_mix, run_load
+from .harness import FigureResult, PaperClaim, Series
+
+#: Arrival rates swept (jobs/minute) and the trace horizon per point.
+SLO_RATES = (20.0, 30.0)
+SLO_DURATION_S = 300.0
+SLO_SEED = 5
+SLO_AM_FRACTION = 0.3
+
+#: Serving knobs shared by every serving-enabled arm. ``slots_per_node=2``
+#: matches the real per-node AM concurrency under ``am_resource_fraction``,
+#: so predicted sojourns track actual drain rates.
+_SERVING_BASE = dict(latency_deadline_s=75.0, slots_per_node=2,
+                     initial_guess_s=12.0)
+
+#: The provisioning disciplines (figure series). (nodes, ServingConfig).
+SLO_MODES = ("static", "admission", "adm+scale", "peak-static")
+
+
+def _mode_setup(mode: str) -> tuple[int, ServingConfig]:
+    if mode == "static":
+        return 4, ServingConfig(admission=False, degradation=False,
+                                **_SERVING_BASE)
+    if mode == "admission":
+        return 4, ServingConfig(**_SERVING_BASE)
+    if mode == "adm+scale":
+        return 4, ServingConfig(autoscale=True, min_nodes=4, max_nodes=8,
+                                **_SERVING_BASE)
+    if mode == "peak-static":
+        return 8, ServingConfig(admission=False, degradation=False,
+                                **_SERVING_BASE)
+    raise ValueError(f"unknown serving mode {mode!r}; use one of {SLO_MODES}")
+
+
+@dataclass(frozen=True)
+class SLOPointTask:
+    """A picklable description of one Figure S1 cell (mode × rate).
+
+    Same contract as :class:`~repro.experiments.loadsweep.LoadPointTask`:
+    immutable fields, ``run()`` builds its own cluster, so the sweep is
+    byte-identical serial or parallel.
+    """
+
+    mode: str
+    rate_per_minute: float
+    duration_s: float = SLO_DURATION_S
+    seed: int = SLO_SEED
+    faults: bool = True
+
+    def run(self) -> LoadReport:
+        nodes, serving = _mode_setup(self.mode)
+        conf = HadoopConfig(am_resource_fraction=SLO_AM_FRACTION,
+                            serving=serving)
+        plan = churn_plan(self.duration_s) if self.faults else None
+        return run_load(a3_cluster(nodes), default_serving_mix(),
+                        self.rate_per_minute, self.duration_s, conf=conf,
+                        seed=self.seed, fault_plan=plan)
+
+
+def slo_sweep_reports(rates: Sequence[float] = SLO_RATES,
+                      duration_s: float = SLO_DURATION_S,
+                      jobs: Optional[int] = None) -> dict[tuple[str, float], LoadReport]:
+    """Every (mode, rate) cell's :class:`LoadReport`."""
+    from .parallel import run_point_tasks
+
+    grid = [(mode, rate) for mode in SLO_MODES for rate in rates]
+    tasks = [SLOPointTask(mode, rate, duration_s=duration_s)
+             for mode, rate in grid]
+    reports = run_point_tasks(tasks, jobs=jobs)
+    return {cell: report for cell, report in zip(grid, reports)}
+
+
+def _attainment_pct(report: LoadReport) -> float:
+    return report.slo["attainment"]["fraction"] * 100.0
+
+
+def _rejection_pct(report: LoadReport) -> float:
+    total = report.slo["latency_jobs"] + report.slo["batch_jobs"]
+    dropped = report.slo["rejected"] + report.slo["shed"]
+    return dropped / total * 100.0 if total else 0.0
+
+
+def figureS1_slo_sweep(jobs: Optional[int] = None) -> FigureResult:
+    """SLO attainment / rejections / node-hours vs rate, under churn."""
+    reports = slo_sweep_reports(jobs=jobs)
+    series: dict[str, Series] = {}
+    for mode in SLO_MODES:
+        series[f"{mode} attainment"] = Series(f"{mode} attainment")
+        series[f"{mode} rejection"] = Series(f"{mode} rejection")
+        series[f"{mode} node-hours"] = Series(f"{mode} node-hours")
+    for (mode, rate), report in reports.items():
+        series[f"{mode} attainment"].add(rate, _attainment_pct(report))
+        series[f"{mode} rejection"].add(rate, _rejection_pct(report))
+        series[f"{mode} node-hours"].add(rate, report.slo["node_hours"])
+
+    top = SLO_RATES[-1]
+    static_att = series["static attainment"].at(top)
+    scale_att = series["adm+scale attainment"].at(top)
+    scale_nh = series["adm+scale node-hours"].at(top)
+    peak_nh = series["peak-static node-hours"].at(top)
+    claims = [
+        PaperClaim(
+            f"admission+autoscale holds latency SLO attainment >= 90% at "
+            f"{top:.0f} jobs/min under node churn (serving-mode headline)",
+            paper_value=100.0,
+            measured_value=scale_att,
+            tolerance=10.0,
+        ),
+        PaperClaim(
+            f"static provisioning drops below 50% attainment at "
+            f"{top:.0f} jobs/min under node churn (unbounded queues: every "
+            f"job suffers equally)",
+            paper_value=0.0,
+            measured_value=static_att,
+            tolerance=50.0,
+        ),
+        PaperClaim(
+            "autoscaling costs fewer node-hours than peak provisioning "
+            f"at {top:.0f} jobs/min (paying only for backlog actually seen)",
+            paper_value=0.0,
+            measured_value=scale_nh / peak_nh * 100.0 if peak_nh else 0.0,
+            tolerance=99.0,
+        ),
+    ]
+    return FigureResult(
+        "Figure S1",
+        "serving mode: SLO attainment under overload + node churn",
+        "jobs/min",
+        series,
+        claims=claims,
+        notes=(f"open-loop replay, {SLO_DURATION_S:.0f}s horizon, churn "
+               f"plan (crash+rejoin cycles), deadline "
+               f"{_SERVING_BASE['latency_deadline_s']:.0f}s, static=A3x4, "
+               "autoscale=4..8 nodes, peak=A3x8; "
+               f"am_resource_fraction={SLO_AM_FRACTION}"),
+    )
+
+
+SLO_FIGURES: dict[str, Callable[[], FigureResult]] = {
+    "figureS1": figureS1_slo_sweep,
+}

@@ -9,6 +9,7 @@ exercise.
 
 from .injector import FaultInjector, inject
 from .plan import (
+    NAMED_PLANS,
     ContainerFlakiness,
     DiskSlowdown,
     FaultEvent,
@@ -17,6 +18,9 @@ from .plan import (
     NetworkPartition,
     NodeCrash,
     NodeRestart,
+    churn_plan,
+    gray_plan,
+    named_plan,
 )
 
 __all__ = [
@@ -25,9 +29,13 @@ __all__ = [
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
+    "NAMED_PLANS",
     "NetworkDegradation",
     "NetworkPartition",
     "NodeCrash",
     "NodeRestart",
+    "churn_plan",
+    "gray_plan",
     "inject",
+    "named_plan",
 ]

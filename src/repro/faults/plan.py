@@ -145,3 +145,48 @@ class FaultPlan:
 
     def __len__(self) -> int:
         return len(self.events)
+
+
+# -- named plans (CLI / experiment shorthand) -----------------------------------
+
+def churn_plan(duration_s: float, period_s: float = 90.0,
+               down_s: float = 35.0, start_s: float = 45.0,
+               seed: int = 23) -> FaultPlan:
+    """Steady node churn: every ``period_s`` a random node crashes and
+    rejoins ``down_s`` later, from ``start_s`` until ``duration_s``.
+
+    The serving experiments run this under load: capacity keeps
+    dipping, so static provisioning misses deadlines while the autoscaler
+    backfills crashed nodes.
+    """
+    plan = FaultPlan(seed=seed)
+    t = start_s
+    while t < duration_s:
+        plan = plan.crash(t).restart(min(t + down_s, duration_s))
+        t += period_s
+    return plan
+
+
+def gray_plan(duration_s: float, seed: int = 23) -> FaultPlan:
+    """A gray-failure mix: one slow disk and one degraded NIC mid-run."""
+    return (FaultPlan(seed=seed)
+            .slow_disk(duration_s * 0.25, factor=6.0, duration=duration_s * 0.4)
+            .degrade_network(duration_s * 0.5, factor=4.0,
+                             duration=duration_s * 0.3))
+
+
+def named_plan(name: str, duration_s: float, seed: int = 23) -> FaultPlan:
+    """Resolve a CLI-friendly plan name (``repro trace --fault-plan``)."""
+    if name == "churn":
+        return churn_plan(duration_s, seed=seed)
+    if name == "crash":
+        return (FaultPlan(seed=seed)
+                .crash(duration_s * 0.3)
+                .restart(duration_s * 0.6))
+    if name == "gray":
+        return gray_plan(duration_s, seed=seed)
+    raise ValueError(f"unknown fault plan {name!r}; use one of {NAMED_PLANS}")
+
+
+#: Names accepted by :func:`named_plan`.
+NAMED_PLANS = ("churn", "crash", "gray")

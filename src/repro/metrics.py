@@ -203,6 +203,37 @@ class StreamingSummary:
                 f"p95={self.p95:.2f} p99={self.p99:.2f} max={self.maximum:.2f}")
 
 
+class StreamingRatio:
+    """O(1) hit-ratio accumulator (e.g. SLO attainment: deadlines met/total).
+
+    ``fraction`` is 1.0 while empty — "no latency job has missed yet" — so
+    control loops keyed off an attainment floor stay calm until there is
+    evidence of trouble.
+    """
+
+    __slots__ = ("hits", "total")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.total = 0
+
+    def add(self, hit: bool) -> None:
+        self.total += 1
+        if hit:
+            self.hits += 1
+
+    @property
+    def fraction(self) -> float:
+        return self.hits / self.total if self.total else 1.0
+
+    def to_dict(self, digits: int = 6) -> dict[str, float]:
+        return {"hits": self.hits, "total": self.total,
+                "fraction": round(self.fraction, digits)}
+
+    def __str__(self) -> str:
+        return f"{self.hits}/{self.total} ({self.fraction:.1%})"
+
+
 @dataclass
 class UtilizationSummary:
     """Aggregates over one monitored window."""

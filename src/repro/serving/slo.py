@@ -1,0 +1,117 @@
+"""SLO classes, per-job deadline resolution, and the serving size estimator.
+
+The serving layer (:mod:`repro.serving`) distinguishes two tenant classes,
+mirroring the split the paper's motivation draws between ad-hoc query
+traffic and background jobs:
+
+* ``latency`` — short, interactive jobs with a per-job deadline (absolute
+  seconds after arrival). These are what MRapid exists for; the admission
+  controller protects them under overload.
+* ``batch`` — throughput work with no deadline. Batch is what gets shed
+  first when the cluster cannot keep up (Pastorelli et al.'s size-based
+  discipline: protecting short jobs costs large jobs little).
+
+Size estimates come from :class:`SizeEstimator`, an EWMA over completed
+*service* times (dispatch to finish, so queueing under load never inflates
+the estimate) keyed by job signature — the same first-samples strategy
+HFSP's training phase and ``repro.core.estimator`` use, kept separate so
+admission works with every RM scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SLO_BATCH, SLO_CLASSES, SLO_LATENCY
+
+__all__ = [
+    "SLO_BATCH",
+    "SLO_CLASSES",
+    "SLO_LATENCY",
+    "SLOJob",
+    "SizeEstimator",
+    "OUTCOME_ADMITTED",
+    "OUTCOME_REJECTED",
+    "OUTCOME_SHED",
+    "OUTCOME_DOWNGRADED",
+    "OUTCOME_DEADLINE_MET",
+    "OUTCOME_DEADLINE_MISSED",
+]
+
+#: Per-job serving outcomes surfaced in ``LoadReport``/``repro trace --json``.
+OUTCOME_ADMITTED = "admitted"
+OUTCOME_REJECTED = "rejected"
+OUTCOME_SHED = "shed"
+OUTCOME_DOWNGRADED = "downgraded"
+OUTCOME_DEADLINE_MET = "deadline_met"
+OUTCOME_DEADLINE_MISSED = "deadline_missed"
+
+
+@dataclass(frozen=True)
+class SLOJob:
+    """The admission controller's resolved view of one arrival.
+
+    ``deadline_s`` is an *absolute* simulated timestamp (arrival + relative
+    deadline); batch jobs carry ``inf``. Immutable so controller decisions
+    can never mutate the job they judge.
+    """
+
+    index: int
+    name: str
+    slo_class: str
+    arrival_s: float
+    deadline_s: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.slo_class not in SLO_CLASSES:
+            raise ValueError(
+                f"unknown SLO class {self.slo_class!r}; use one of {SLO_CLASSES}")
+
+    @property
+    def is_latency(self) -> bool:
+        return self.slo_class == SLO_LATENCY
+
+
+class SizeEstimator:
+    """EWMA service-time estimate per job signature (admission's size oracle).
+
+    Unseen signatures get ``initial_guess_s`` — optimistic, so new job types
+    are measured rather than rejected on ignorance, exactly like HFSP's
+    training phase.
+    """
+
+    __slots__ = ("initial_guess_s", "alpha", "_estimates", "_samples")
+
+    def __init__(self, initial_guess_s: float = 8.0, alpha: float = 0.4) -> None:
+        if initial_guess_s <= 0:
+            raise ValueError("initial_guess_s must be positive")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.initial_guess_s = initial_guess_s
+        self.alpha = alpha
+        self._estimates: dict[str, float] = {}
+        self._samples: dict[str, int] = {}
+
+    def estimate(self, name: str) -> float:
+        return self._estimates.get(name, self.initial_guess_s)
+
+    def samples(self, name: str) -> int:
+        return self._samples.get(name, 0)
+
+    def observe(self, name: str, service_s: float) -> None:
+        if service_s < 0:
+            raise ValueError("service time cannot be negative")
+        current = self._estimates.get(name)
+        if current is None:
+            self._estimates[name] = service_s
+        else:
+            self._estimates[name] = (self.alpha * service_s
+                                     + (1.0 - self.alpha) * current)
+        self._samples[name] = self._samples.get(name, 0) + 1
+
+    def report(self) -> dict[str, dict[str, float]]:
+        return {
+            name: {"estimate_s": self._estimates[name],
+                   "samples": float(self._samples.get(name, 0))}
+            for name in sorted(self._estimates)
+        }

@@ -76,6 +76,39 @@ class SimCluster:
             self.rm.register_node_manager(nm)
             self.node_managers.append(nm)
 
+    def add_node(self) -> NodeManager:
+        """Provision one more worker (elastic scale-up, e.g. the autoscaler).
+
+        The new node gets the next ``dn{i}`` id with the same deterministic
+        rack assignment and heartbeat phase the constructor would have given
+        it, joins the topology/network/HDFS/RM, and is schedulable from its
+        first heartbeat. Node ids are never reused: scale-*down* drains NMs
+        in place (``NodeManager.drain``) rather than removing nodes.
+        """
+        inst = self.spec.instance
+        i = len(self.datanodes)
+        node = Node(
+            self.env,
+            f"dn{i}",
+            rack=f"rack{i % self.spec.racks}",
+            cores=inst.cores,
+            memory_mb=inst.memory_mb,
+            disk_read_mb_s=inst.disk_read_mb_s,
+            disk_write_mb_s=inst.disk_write_mb_s,
+            disk_seek_penalty=inst.disk_seek_penalty,
+        )
+        self.datanodes.append(node)
+        self.topology.add(node)
+        self.network.add_node(node)
+        self.datanode_daemons[node.node_id] = DataNodeDaemon(
+            self.env, node.node_id, self.namenode, report_interval_s=3.0)
+        self.rm.add_node(node)
+        offset = (i * 0.317) % self.conf.nm_heartbeat_s if self.conf.nm_heartbeat_s else 0.0
+        nm = NodeManager(self.env, node, self.rm, heartbeat_offset=offset)
+        self.rm.register_node_manager(nm)
+        self.node_managers.append(nm)
+        return nm
+
     # -- convenience -----------------------------------------------------------
     def load_input_files(self, prefix: str, num_files: int, file_size_mb: float,
                          spread_writers: bool = True) -> list[str]:

@@ -30,41 +30,70 @@ from typing import TYPE_CHECKING, Callable, Generator, Optional, Sequence
 
 import numpy as np
 
+from .config import SLO_BATCH, SLO_CLASSES, SLO_LATENCY
 from .core.ampool import MODE_DPLUS, MODE_UPLUS
 from .core.speculation import SpeculativeExecutor
-from .mapreduce.client import MODE_AUTO, JobClient
+from .mapreduce.client import MODE_AUTO, MODE_UBER, JobClient
 from .mapreduce.spec import SimJobSpec
 from .metrics import StreamingSummary
+from .serving.runtime import SIGNAL_SHED, ServingRuntime
+from .serving.slo import OUTCOME_REJECTED, OUTCOME_SHED
 from .workloads.base import WorkloadProfile
 from .yarn.resourcemanager import JobKilled
 
 if TYPE_CHECKING:  # pragma: no cover
     from .config import ClusterSpec, HadoopConfig
+    from .faults.plan import FaultPlan
     from .simcluster import SimCluster
 
 
 @dataclass(frozen=True)
 class JobTemplate:
-    """One entry of a job mix."""
+    """One entry of a job mix.
+
+    ``slo_class``/``deadline_s`` declare the tenant SLO for the serving
+    layer: ``latency`` jobs carry a relative deadline (``None`` falls back
+    to ``ServingConfig.latency_deadline_s``), ``batch`` jobs have none.
+    Both are inert unless ``HadoopConfig.serving`` is set.
+    """
 
     name: str
     profile: WorkloadProfile
     num_files: int
     file_mb: float
     weight: float = 1.0
+    slo_class: str = SLO_BATCH
+    deadline_s: Optional[float] = None
 
 
 @dataclass(frozen=True)
 class TraceJob:
-    """A concrete arrival in a trace."""
+    """A concrete arrival in a trace.
+
+    ``slo_override``/``deadline_override`` let a trace file pin a per-line
+    SLO that differs from the template's default.
+    """
 
     arrival_s: float
     template: JobTemplate
     index: int
+    slo_override: Optional[str] = None
+    deadline_override: Optional[float] = None
 
     @property
     def signature(self) -> str:
         return self.template.name
+
+    @property
+    def slo_class(self) -> str:
+        return self.slo_override if self.slo_override is not None else self.template.slo_class
+
+    @property
+    def deadline_s(self) -> Optional[float]:
+        """Relative deadline in seconds after arrival (latency class only)."""
+        if self.deadline_override is not None:
+            return self.deadline_override
+        return self.template.deadline_s
 
 
 def poisson_trace(mix: Sequence[JobTemplate], rate_per_minute: float,
@@ -192,13 +221,42 @@ def default_short_job_mix() -> list[JobTemplate]:
     ]
 
 
+def default_serving_mix() -> list[JobTemplate]:
+    """The short-job mix with SLO classes: interactive queries are
+    ``latency`` tenants (deadline from ``ServingConfig``), sorts are
+    ``batch`` and absorb any load shedding."""
+    return [t if t.name == "sort"
+            else JobTemplate(t.name, t.profile, t.num_files, t.file_mb,
+                             weight=t.weight, slo_class=SLO_LATENCY)
+            for t in default_short_job_mix()]
+
+
+def _parse_slo_token(token: str, lineno: int) -> tuple[str, Optional[float]]:
+    """``latency``, ``batch``, or ``latency:<deadline_s>``."""
+    name, _, deadline = token.partition(":")
+    if name not in SLO_CLASSES:
+        raise ValueError(f"trace line {lineno}: expected SLO "
+                         f"'latency[:deadline_s]' or 'batch', got {token!r}")
+    if not deadline:
+        return name, None
+    if name != SLO_LATENCY:
+        raise ValueError(f"trace line {lineno}: expected no deadline on a "
+                         f"batch job, got {token!r}")
+    value = float(deadline)
+    if value <= 0:
+        raise ValueError(f"trace line {lineno}: deadline must be positive")
+    return name, value
+
+
 def parse_trace_file(text: str, mix: Sequence[JobTemplate]) -> list[TraceJob]:
-    """Parse a replay trace: one ``<arrival_s> <template_name>`` per line.
+    """Parse a replay trace: ``<arrival_s> <template_name> [slo]`` per line.
 
     Blank lines and ``#`` comments are skipped. Arrivals must be
     non-decreasing so the file is replayable open-loop; template names must
-    exist in ``mix``. Returns :class:`TraceJob` entries indexed in file
-    order.
+    exist in ``mix``. The optional third token pins the job's SLO class —
+    ``batch``, ``latency``, or ``latency:30`` (relative deadline seconds) —
+    overriding the template default. Returns :class:`TraceJob` entries
+    indexed in file order.
     """
     by_name = {t.name: t for t in mix}
     jobs: list[TraceJob] = []
@@ -208,8 +266,9 @@ def parse_trace_file(text: str, mix: Sequence[JobTemplate]) -> list[TraceJob]:
         if not line:
             continue
         parts = line.split()
-        if len(parts) != 2:
-            raise ValueError(f"trace line {lineno}: expected '<arrival_s> <template>'")
+        if len(parts) not in (2, 3):
+            raise ValueError(f"trace line {lineno}: expected "
+                             f"'<arrival_s> <template> [slo]'")
         arrival = float(parts[0])
         if arrival < last:
             raise ValueError(f"trace line {lineno}: arrivals must be non-decreasing")
@@ -217,7 +276,12 @@ def parse_trace_file(text: str, mix: Sequence[JobTemplate]) -> list[TraceJob]:
         if template is None:
             raise ValueError(f"trace line {lineno}: unknown template {parts[1]!r} "
                              f"(known: {sorted(by_name)})")
-        jobs.append(TraceJob(arrival_s=arrival, template=template, index=len(jobs)))
+        slo_override = deadline_override = None
+        if len(parts) == 3:
+            slo_override, deadline_override = _parse_slo_token(parts[2], lineno)
+        jobs.append(TraceJob(arrival_s=arrival, template=template, index=len(jobs),
+                             slo_override=slo_override,
+                             deadline_override=deadline_override))
         last = arrival
     return jobs
 
@@ -329,6 +393,10 @@ class LoadReport:
     decisions: dict[str, int] = field(default_factory=dict)
     #: Per-job rows, only populated when ``keep_jobs=True``.
     per_job: list[dict] = field(default_factory=list)
+    #: Serving-mode section (SLO attainment, admission/autoscaler counters);
+    #: empty — and absent from :meth:`to_dict` — unless the replay ran with
+    #: ``HadoopConfig.serving`` set.
+    slo: dict = field(default_factory=dict)
 
     def to_dict(self, digits: int = 6) -> dict:
         """JSON-stable dict (used by the CLI and the determinism checks)."""
@@ -348,23 +416,33 @@ class LoadReport:
             "queue_depth": self.queue_depth.to_dict(digits),
             "decisions": {k: self.decisions[k] for k in sorted(self.decisions)},
         }
+        if self.slo:
+            out["slo"] = self.slo
         if self.per_job:
             out["jobs"] = self.per_job
         return out
 
     def summary(self) -> str:
-        return (f"{self.scheduler or 'fifo'}/{self.strategy}: "
+        line = (f"{self.scheduler or 'fifo'}/{self.strategy}: "
                 f"{self.jobs_completed}/{self.jobs_submitted} jobs, "
                 f"sojourn mean {self.sojourn.mean:.1f}s "
                 f"p95 {self.sojourn.p95:.1f}s p99 {self.sojourn.p99:.1f}s, "
                 f"peak in-flight {self.peak_in_flight}")
+        if self.slo:
+            att = self.slo.get("attainment", {})
+            line += (f", SLO attainment {att.get('fraction', 1.0):.1%}"
+                     f" ({att.get('hits', 0)}/{att.get('total', 0)})"
+                     f", rejected {self.slo.get('rejected', 0)}"
+                     f" shed {self.slo.get('shed', 0)}")
+        return line
 
 
 def replay_load(cluster: "SimCluster", trace: Sequence[TraceJob],
                 strategy: str = STRATEGY_STOCK, *,
                 baselines: Optional[dict[str, float]] = None,
                 keep_jobs: bool = False,
-                queue_of: Optional[Callable[[str], str]] = None) -> LoadReport:
+                queue_of: Optional[Callable[[str], str]] = None,
+                fault_plan: Optional["FaultPlan"] = None) -> LoadReport:
     """Open-loop replay of ``trace`` on one long-lived cluster.
 
     Arrivals are driven by a single generator clocked purely off the trace
@@ -377,7 +455,15 @@ def replay_load(cluster: "SimCluster", trace: Sequence[TraceJob],
 
     ``baselines`` (template name -> idle service time) enables slowdown
     accounting; ``queue_of`` routes templates to tenant queues when the
-    cluster runs the multi-tenant scheduler.
+    cluster runs the multi-tenant scheduler; ``fault_plan`` injects node
+    churn/gray failures into the replay (jobs whose AMs die terminally are
+    counted ``failed``, never crash the run).
+
+    When ``cluster.conf.serving`` is set, the replay runs through
+    :class:`~repro.serving.runtime.ServingRuntime`: arrivals pass admission
+    (with retry-with-backoff on rejection), wait for a dispatch slot, may be
+    shed while pending, submit in degraded modes under overload, and settle
+    their deadline on completion. The report gains a ``slo`` section.
     """
     env = cluster.env
     framework = getattr(cluster, "mrapid_framework", None)
@@ -387,9 +473,14 @@ def replay_load(cluster: "SimCluster", trace: Sequence[TraceJob],
     executor = (SpeculativeExecutor(framework)
                 if strategy == STRATEGY_SPECULATIVE else None)
     client = JobClient(cluster) if strategy == STRATEGY_STOCK else None
+    serving = cluster.conf.serving
+    runtime = ServingRuntime(cluster, serving) if serving is not None else None
     report = LoadReport(strategy=strategy, jobs_submitted=len(trace))
     if not trace:
         return report
+    if fault_plan is not None and len(fault_plan):
+        from .faults.injector import inject
+        inject(cluster, fault_plan)
 
     cluster.log.bound(_REPLAY_LOG_LIMIT)
     cluster.rm.retain_finished_apps = False
@@ -406,51 +497,110 @@ def replay_load(cluster: "SimCluster", trace: Sequence[TraceJob],
 
     def one_job(job: TraceJob) -> Generator:
         nonlocal in_flight, completed
-        paths = cluster.load_input_files(
-            f"/trace/{job.index:05d}", job.template.num_files, job.template.file_mb)
-        spec = SimJobSpec(job.template.name, tuple(paths), job.template.profile,
-                          signature=job.signature)
+        slo = runtime.resolve(job) if runtime is not None else None
+        paths: list[str] = []
         outputs: list[str] = []
+        result = None
+        decision = "killed"
+        outcome: Optional[str] = None
+        dispatched = False
+
+        def record_row(label: Optional[str], sojourn: Optional[float] = None) -> None:
+            if not keep_jobs:
+                return
+            row: dict = {"index": job.index, "name": job.template.name,
+                         "arrival_s": round(job.arrival_s, 6)}
+            if sojourn is not None:
+                row["sojourn_s"] = round(sojourn, 6)
+                row["decision"] = decision
+            if runtime is not None:
+                row["slo_class"] = slo.slo_class
+                row["outcome"] = label
+            if sojourn is not None or runtime is not None:
+                report.per_job.append(row)
+
         try:
-            decision = "killed"
-            result = None
+            if runtime is not None:
+                attempt = 0
+                while True:
+                    admit = runtime.offer(slo)
+                    if admit.admitted:
+                        break
+                    if attempt >= serving.retry_max:
+                        outcome = decision = runtime.record_rejection(admit)
+                        record_row(outcome)
+                        return
+                    yield env.timeout(runtime.retry_delay_s(attempt))
+                    attempt += 1
+                    runtime.record_retry()
+                signal = yield from runtime.wait_dispatch(slo)
+                if signal == SIGNAL_SHED:
+                    outcome = decision = OUTCOME_SHED
+                    record_row(outcome)
+                    return
+                dispatched = True
+            dispatched_at = env.now
+            paths = cluster.load_input_files(
+                f"/trace/{job.index:05d}", job.template.num_files, job.template.file_mb)
+            spec = SimJobSpec(job.template.name, tuple(paths), job.template.profile,
+                              signature=job.signature)
+            degraded = runtime is not None and runtime.degraded_mode_for(slo)
             try:
                 if strategy == STRATEGY_STOCK:
                     queue = queue_of(job.template.name) if queue_of is not None else None
-                    result = yield client.submit(spec, MODE_AUTO, queue=queue)
+                    mode = MODE_UBER if degraded and slo.is_latency else MODE_AUTO
+                    result = yield client.submit(spec, mode, queue=queue)
                     decision = result.mode
-                elif strategy == STRATEGY_SPECULATIVE:
-                    outcome = yield executor.submit(spec)
-                    result = outcome.winner
-                    decision = f"mrapid-{outcome.winner_mode}"
-                    if outcome.loser is not None:
-                        outputs.append(f"/out/{outcome.loser.app_id}")
+                elif strategy == STRATEGY_SPECULATIVE and not degraded:
+                    spec_outcome = yield executor.submit(spec)
+                    result = spec_outcome.winner
+                    decision = f"mrapid-{spec_outcome.winner_mode}"
+                    if spec_outcome.loser is not None:
+                        outputs.append(f"/out/{spec_outcome.loser.app_id}")
                 else:
-                    mode = MODE_DPLUS if strategy == STRATEGY_DPLUS else MODE_UPLUS
+                    if degraded:
+                        # Overload ladder: latency jobs straight to U+ (no
+                        # sizing detour), batch straight to D+ (speculation
+                        # suspended — no duplicate AMs under pressure).
+                        mode = MODE_UPLUS if slo.is_latency else MODE_DPLUS
+                    else:
+                        mode = MODE_DPLUS if strategy == STRATEGY_DPLUS else MODE_UPLUS
                     handle = framework.submit(spec, mode)
                     result = yield handle.proc
                     decision = result.mode
             except JobKilled:
                 report.killed += 1
+                outcome = "killed"
+            except Exception:
+                # Under a fault plan an AM can die terminally (attempts
+                # exhausted); the submission future re-raises. One dead job
+                # must not kill a thousand-job replay.
+                report.failed += 1
+                outcome = "failed"
             sojourn = env.now - job.arrival_s
             if result is not None:
                 if result.killed:
                     report.killed += 1
+                    outcome = "killed"
                 elif result.failed:
                     report.failed += 1
-                else:
-                    report.sojourn.add(sojourn)
-                    baseline = (baselines or {}).get(job.template.name, 0.0)
-                    if baseline > 0:
-                        report.slowdown.add(sojourn / baseline)
-                    report.decisions[decision] = report.decisions.get(decision, 0) + 1
-                    if keep_jobs:
-                        report.per_job.append({
-                            "index": job.index, "name": job.template.name,
-                            "arrival_s": round(job.arrival_s, 6),
-                            "sojourn_s": round(sojourn, 6),
-                            "decision": decision,
-                        })
+                    outcome = "failed"
+            success = (result is not None
+                       and not result.killed and not result.failed)
+            if success:
+                if runtime is not None:
+                    outcome = runtime.job_finished(slo, env.now - dispatched_at)
+                report.sojourn.add(sojourn)
+                baseline = (baselines or {}).get(job.template.name, 0.0)
+                if baseline > 0:
+                    report.slowdown.add(sojourn / baseline)
+                report.decisions[decision] = report.decisions.get(decision, 0) + 1
+                record_row(outcome, sojourn)
+            else:
+                if runtime is not None:
+                    if dispatched:
+                        runtime.job_aborted(slo)
+                    record_row(outcome)
             if tracer is not None:
                 from .observe.tracer import CLUSTER
                 tracer.complete(job.template.name, "trace-job", CLUSTER,
@@ -486,6 +636,9 @@ def replay_load(cluster: "SimCluster", trace: Sequence[TraceJob],
     env.process(arrivals(), name="trace-arrivals")
     env.run(until=done)
     report.makespan_s = env.now
+    if runtime is not None:
+        runtime.finish(report.makespan_s)
+        report.slo = runtime.summary()
     return report
 
 
@@ -495,13 +648,15 @@ def run_load(spec: "ClusterSpec", mix: Sequence[JobTemplate],
              conf: Optional["HadoopConfig"] = None, seed: int = 11,
              keep_jobs: bool = False,
              baselines: Optional[dict[str, float]] = None,
-             trace: Optional[Sequence[TraceJob]] = None) -> LoadReport:
+             trace: Optional[Sequence[TraceJob]] = None,
+             fault_plan: Optional["FaultPlan"] = None) -> LoadReport:
     """Generate (or accept) a trace and replay it on a fresh cluster.
 
     The one-call entry point the CLI and the load sweep use: picks the RM
     scheduler, attaches the MRapid framework when the strategy needs it,
-    measures idle-cluster baselines for slowdowns, and streams the replay
-    through :func:`replay_load`.
+    measures idle-cluster baselines for slowdowns (on a pristine cluster —
+    faults only apply to the replay itself), and streams the replay through
+    :func:`replay_load`.
     """
     if strategy not in TRACE_STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r}; use one of {TRACE_STRATEGIES}")
@@ -513,7 +668,8 @@ def run_load(spec: "ClusterSpec", mix: Sequence[JobTemplate],
                                   conf=conf)
     queue_of = default_queue_of if scheduler == SCHEDULER_CAPACITY else None
     report = replay_load(cluster, trace, strategy, baselines=baselines,
-                         keep_jobs=keep_jobs, queue_of=queue_of)
+                         keep_jobs=keep_jobs, queue_of=queue_of,
+                         fault_plan=fault_plan)
     report.scheduler = scheduler
     report.rate_per_minute = rate_per_minute
     report.duration_s = duration_s

@@ -32,6 +32,11 @@ class NodeManager:
         self.heartbeat_offset = heartbeat_offset
         self.failed = False
         self.failed_at: float = float("inf")
+        #: Administratively removed from service (autoscaler scale-down).
+        #: Unlike ``failed`` the machine is healthy — it just stops
+        #: heartbeating so the RM never schedules on it, and it rejoins
+        #: instantly on :meth:`undrain`.
+        self.drained = False
         self.running: dict[int, "Process"] = {}
         #: Fault-injection hook: ``decide(container) -> Optional[float]``
         #: returns seconds-until-crash for a flaky container, or None.
@@ -140,6 +145,40 @@ class NodeManager:
         self.failed = False
         self.failed_at = float("inf")
         self.running.clear()
+        if self.drained:
+            # Recovered hardware stays out of service until undrained.
+            return
         self._heartbeat_proc = self.env.process(
             self._heartbeat_loop(), name=f"nm-hb-{self.node_id}")
         self.rm.node_rejoined(self.node_id)
+
+    def drain(self) -> None:
+        """Take a healthy, idle node out of service (scale-down).
+
+        Heartbeats stop and the RM stops scheduling here; running
+        containers (there should be none — callers drain idle nodes) are
+        left untouched. The DataNode keeps serving HDFS reads: draining is
+        a YARN-capacity decision, not a decommission.
+        """
+        if self.drained or self.failed:
+            return
+        self.drained = True
+        if self._heartbeat_proc.is_alive:
+            self._heartbeat_proc.defuse()
+            self._heartbeat_proc.interrupt("drained")
+        node = self.rm.nodes.get(self.node_id)
+        if node is not None:
+            node.alive = False
+        self.rm.log.mark(self.env.now, "node_drained", node=self.node_id)
+
+    def undrain(self) -> None:
+        """Return a drained node to service (warm scale-up, no delay)."""
+        if not self.drained:
+            return
+        self.drained = False
+        if self.failed:
+            return  # crashed while parked; restart() will bring it back
+        self._heartbeat_proc = self.env.process(
+            self._heartbeat_loop(), name=f"nm-hb-{self.node_id}")
+        self.rm.node_rejoined(self.node_id)
+        self.rm.log.mark(self.env.now, "node_undrained", node=self.node_id)

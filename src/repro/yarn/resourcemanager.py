@@ -77,6 +77,17 @@ class ResourceManager:
     def register_node_manager(self, nm: "NodeManager") -> None:
         self.node_managers[nm.node_id] = nm
 
+    def add_node(self, node) -> None:
+        """Admit a node provisioned after RM construction (elastic scale-up)."""
+        if node.node_id in self.nodes:
+            raise ValueError(f"node {node.node_id!r} already registered")
+        advertised = ResourceVector(
+            memory_mb=node.capability.memory_mb,
+            vcores=self.conf.effective_vcores(node.capability.vcores),
+        )
+        self.nodes[node.node_id] = NodeState(node.node_id, advertised)
+        self.log.mark(self.env.now, "node_added", node=node.node_id)
+
     def node_state(self, node_id: str) -> NodeState:
         return self.nodes[node_id]
 

@@ -379,6 +379,9 @@ def test_scenario_digest_is_stable_in_process():
     digest = scenario_digest()
     assert digest["event_digest"] == digest["repeat_digest"]
     assert digest["metrics_digest"] == digest["repeat_metrics_digest"]
+    assert digest["serving_event_digest"] == digest["serving_repeat_digest"]
+    assert (digest["serving_metrics_digest"]
+            == digest["serving_repeat_metrics_digest"])
 
 
 def test_sanitizer_passes_across_hash_seeds():
@@ -386,3 +389,4 @@ def test_sanitizer_passes_across_hash_seeds():
     lines = []
     assert run_sanitizer((1, 2), echo=lines.append) == 0
     assert any(line.startswith("OK event digest") for line in lines)
+    assert any(line.startswith("OK serving digest") for line in lines)
