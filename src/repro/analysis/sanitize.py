@@ -1,8 +1,9 @@
 """Dynamic determinism sanitizer.
 
 Static rules catch *patterns* of hash-order dependence; this module
-catches the *effect*. It runs one small but representative scenario —
-a wordcount job on a multi-rack cluster with the shared fabric active —
+catches the *effect*. It runs small but representative scenarios — a
+wordcount job on a multi-rack cluster with the shared fabric active, a
+serving-mode churn replay, and a 1,000-node heartbeat-wheel run —
 twice, in separate interpreter processes launched with different
 ``PYTHONHASHSEED`` values, and compares digests of
 
@@ -37,12 +38,17 @@ def scenario_digest() -> dict[str, str]:
     repeat the exercise on the serving-mode scenario (admission +
     autoscaling replay under node churn), whose timer wheel — retry
     backoffs, provision delays, drain decisions — is a separate surface
-    for hash-order leaks.
+    for hash-order leaks. The ``scale_*`` keys digest a 1,000-node
+    heartbeat-wheel scenario (cohort ticks under a phase quantum, churn
+    suspend/resume, O(1) totals) — the large-cluster machinery has its
+    own dict/set surfaces that the 4-node scenarios never touch.
     """
     first = _run_scenario()
     second = _run_scenario()
     serving_first = _run_serving_scenario()
     serving_second = _run_serving_scenario()
+    scale_first = _run_scale_scenario()
+    scale_second = _run_scale_scenario()
     return {
         "event_digest": first[0],
         "metrics_digest": first[1],
@@ -52,6 +58,10 @@ def scenario_digest() -> dict[str, str]:
         "serving_metrics_digest": serving_first[1],
         "serving_repeat_digest": serving_second[0],
         "serving_repeat_metrics_digest": serving_second[1],
+        "scale_event_digest": scale_first[0],
+        "scale_metrics_digest": scale_first[1],
+        "scale_repeat_digest": scale_second[0],
+        "scale_repeat_metrics_digest": scale_second[1],
     }
 
 
@@ -126,6 +136,67 @@ def _run_serving_scenario() -> tuple[str, str]:
     return event_h.hexdigest(), metrics_h.hexdigest()
 
 
+def _run_scale_scenario() -> tuple[str, str]:
+    """1k-node digest: the wheel's cohort ticks and O(changed) scheduling.
+
+    A thousand phase-staggered nodes beating under a 0.25 s quantum share
+    tick events, so this crosses the BucketQueue, the ``_armed`` instant
+    set, the incremental RM totals, and the suspend/resume paths (one
+    node crashes and rejoins mid-run) — none of which the 4-node
+    scenarios reach at aggregation scale.
+    """
+    from repro.cluster import ResourceVector
+    from repro.config import HadoopConfig, a3_cluster
+    from repro.simcluster import SimCluster
+    from repro.yarn import Application
+
+    conf = HadoopConfig(nm_heartbeat_quantum_s=0.25)
+    cluster = SimCluster(a3_cluster(1000), conf=conf)
+    env = cluster.env
+    rm = cluster.rm
+
+    event_h = hashlib.sha256()
+
+    def record(when: float, event: object) -> None:
+        event_h.update(f"{type(event).__name__}@{when!r};".encode())
+
+    env.tracers.append(record)
+
+    finished: list[tuple[str, float]] = []
+
+    def uber(ctx):
+        yield ctx.env.timeout(2.0)
+        finished.append((ctx.app.app_id, round(ctx.env.now, 9)))
+        return None
+
+    def submitter(env):
+        for _ in range(10):
+            rm.submit_application(Application(
+                rm.next_app_id(), "scale-uber", ResourceVector(1024, 1), uber))
+            yield env.timeout(0.4)
+
+    def churn(env):
+        yield env.timeout(1.3)
+        cluster.fail_node("dn37")
+        yield env.timeout(2.0)
+        cluster.restart_node("dn37")
+
+    env.process(submitter(env))
+    env.process(churn(env))
+    env.run(until=10.0)
+
+    metrics = {
+        "finished": sorted(finished),
+        "heartbeats": rm.heartbeat_wheel.heartbeats_delivered,
+        "ticks": rm.heartbeat_wheel.ticks,
+        "events": env.events_processed,
+        "used": [rm.total_used().memory_mb, rm.total_used().vcores],
+    }
+    metrics_h = hashlib.sha256(
+        json.dumps(metrics, sort_keys=True).encode())
+    return event_h.hexdigest(), metrics_h.hexdigest()
+
+
 def _child_digest(hash_seed: int) -> dict[str, str]:
     env = dict(os.environ)
     env["PYTHONHASHSEED"] = str(hash_seed)
@@ -156,8 +227,9 @@ def run_sanitizer(seeds: tuple[int, int] = (1, 2),
     b = _child_digest(seeds[1])
 
     failures = []
+    scenarios = (("", ""), ("serving ", "serving_"), ("scale ", "scale_"))
     for run, digest in (("A", a), ("B", b)):
-        for scenario, prefix in (("", ""), ("serving ", "serving_")):
+        for scenario, prefix in scenarios:
             if (digest[f"{prefix}event_digest"]
                     != digest[f"{prefix}repeat_digest"]):
                 failures.append(
@@ -167,7 +239,7 @@ def run_sanitizer(seeds: tuple[int, int] = (1, 2),
                     != digest[f"{prefix}repeat_metrics_digest"]):
                 failures.append(
                     f"run {run}: repeated {scenario}run changed metrics")
-    for scenario, prefix in (("", ""), ("serving ", "serving_")):
+    for scenario, prefix in scenarios:
         if a[f"{prefix}event_digest"] != b[f"{prefix}event_digest"]:
             failures.append(
                 f"{scenario}event order depends on PYTHONHASHSEED "
@@ -187,4 +259,6 @@ def run_sanitizer(seeds: tuple[int, int] = (1, 2),
         f"seeds and repeats")
     say(f"OK serving digest {a['serving_event_digest'][:16]}… identical "
         f"across seeds and repeats (churn + autoscale replay)")
+    say(f"OK scale digest   {a['scale_event_digest'][:16]}… identical "
+        f"across seeds and repeats (1k-node heartbeat wheel)")
     return 0

@@ -126,6 +126,87 @@ def bench_fabric(num_flows: int = 4000, window: int = 16) -> dict:
     }
 
 
+# -- cluster-scale benchmark ---------------------------------------------------
+
+def bench_scale(num_nodes: int, sim_duration_s: float = 60.0,
+                job_interval_s: float = 0.5, job_service_s: float = 5.0,
+                quantum_s: float = 0.0) -> dict:
+    """Heartbeat-driven replay at cluster scale (1k-10k NodeManagers).
+
+    ``num_nodes`` NMs beat on the RM's shared heartbeat wheel for
+    ``sim_duration_s`` simulated seconds while a steady stream of short
+    uberized jobs (AM-only containers, MRapid's short-job regime) is
+    submitted, allocated through the heartbeat-driven FIFO path, runs and
+    finishes. Reports:
+
+    * ``events_per_sec`` — kernel events popped per wall second;
+    * ``logical_events_per_sec`` — kernel events *plus* heartbeats
+      delivered: with a phase quantum whole cohorts of beats ride one
+      kernel event, so kernel events alone undercount the work done;
+    * ``jobs_per_sec`` — end-to-end job completions per wall second;
+    * ``max_rss_mb`` — process peak RSS (bounded-memory check at 10k).
+    """
+    import resource as _resource
+
+    from .cluster.resources import ResourceVector
+    from .config import HadoopConfig, a3_cluster
+    from .simcluster import SimCluster
+    from .yarn.records import Application
+
+    conf = HadoopConfig(nm_heartbeat_quantum_s=quantum_s)
+    build_start = time.perf_counter()
+    cluster = SimCluster(a3_cluster(num_nodes), conf=conf)
+    build_s = time.perf_counter() - build_start
+    env = cluster.env
+    rm = cluster.rm
+    rm.retain_finished_apps = False  # bounded RSS over thousands of jobs
+    finished = 0
+    submitted = 0
+
+    def uber_runner(ctx):
+        nonlocal finished
+        yield ctx.env.timeout(job_service_s)
+        finished += 1
+        return None
+
+    def submitter():
+        nonlocal submitted
+        while env.now < sim_duration_s:
+            app = Application(rm.next_app_id(), "bench-uber",
+                              ResourceVector(1024, 1), uber_runner)
+            rm.submit_application(app)
+            submitted += 1
+            yield env.timeout(job_interval_s)
+
+    env.process(submitter(), name="bench-submitter")
+    start = time.perf_counter()
+    env.run(until=sim_duration_s + 10 * job_service_s)
+    wall = time.perf_counter() - start
+
+    events = env.events_processed
+    wheel = rm.heartbeat_wheel
+    heartbeats = wheel.heartbeats_delivered if wheel is not None else 0
+    ticks = wheel.ticks if wheel is not None else 0
+    logical = events + heartbeats
+    max_rss_kb = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    return {
+        "nodes": num_nodes,
+        "sim_duration_s": sim_duration_s,
+        "quantum_s": quantum_s,
+        "build_s": round(build_s, 3),
+        "seconds": round(wall, 6),
+        "events": events,
+        "events_per_sec": round(events / wall) if wall > 0 else None,
+        "heartbeats": heartbeats,
+        "heartbeat_ticks": ticks,
+        "logical_events_per_sec": round(logical / wall) if wall > 0 else None,
+        "jobs_submitted": submitted,
+        "jobs_finished": finished,
+        "jobs_per_sec": round(finished / wall, 1) if wall > 0 else None,
+        "max_rss_mb": round(max_rss_kb / 1024.0, 1),
+    }
+
+
 # -- figure-sweep benchmark ----------------------------------------------------
 
 def _render_sweep(names: Sequence[str], jobs: int) -> tuple[dict[str, str], float]:
@@ -183,6 +264,20 @@ def run_bench(quick: bool = False, jobs: Optional[int] = None, repeat: int = 1,
     figures = QUICK_FIGURES if quick else None
     kernel_events = 50_000 if quick else 200_000
     fabric_flows = 1000 if quick else 4000
+    if quick:
+        # CI smoke: the 1k point alone, shortened — enough to regress the
+        # heartbeat wheel and the O(1) totals without minutes of wall time.
+        scale = {"nodes_1k": bench_scale(1000, sim_duration_s=20.0)}
+    else:
+        scale = {
+            # 1k with quantum 0: every node keeps its exact legacy phase,
+            # one wheel tick per beat — stresses the per-beat path.
+            "nodes_1k": bench_scale(1000),
+            # 10k with a 0.25 s phase quantum: beats aggregate into cohort
+            # ticks — the configuration large-cluster studies would run.
+            "nodes_10k": bench_scale(10_000, quantum_s=0.25,
+                                     job_interval_s=0.25),
+        }
     report = {
         "schema": "repro-bench/1",
         "generated_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -191,6 +286,7 @@ def run_bench(quick: bool = False, jobs: Optional[int] = None, repeat: int = 1,
         "sweep": bench_sweep(figures, jobs=jobs, repeat=repeat),
         "kernel": bench_kernel(kernel_events),
         "fabric": bench_fabric(fabric_flows),
+        "scale": scale,
     }
     if output:
         with open(output, "w") as f:
@@ -217,4 +313,11 @@ def format_report(report: dict) -> str:
         f"peak_heap={fabric['peak_event_heap']}  "
         f"live_timers_end={fabric['live_timers_end']}",
     ]
+    for name, point in report.get("scale", {}).items():
+        lines.append(
+            f"  {name:8}: {point['logical_events_per_sec']:,} logical ev/s "
+            f"({point['events_per_sec']:,} kernel ev/s)  "
+            f"jobs/s={point['jobs_per_sec']}  "
+            f"heartbeats={point['heartbeats']:,}  "
+            f"rss={point['max_rss_mb']}MB")
     return "\n".join(lines)

@@ -41,6 +41,18 @@ class Topology:
         self._nodes[node.node_id] = node
         self._racks.setdefault(node.rack, []).append(node)
 
+    def remove(self, node_id: str) -> Node:
+        """Forget a decommissioned node (its id must never be reused)."""
+        node = self._nodes.pop(node_id, None)
+        if node is None:
+            raise KeyError(f"unknown node {node_id!r}")
+        rack = self._racks.get(node.rack)
+        if rack is not None:
+            rack.remove(node)
+            if not rack:
+                del self._racks[node.rack]
+        return node
+
     # -- lookup ------------------------------------------------------------
     def node(self, node_id: str) -> Node:
         return self._nodes[node_id]

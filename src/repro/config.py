@@ -172,6 +172,12 @@ class HadoopConfig:
     nm_heartbeat_s: float = 1.0        # yarn.resourcemanager.nodemanagers.heartbeat-interval-ms
     am_heartbeat_s: float = 1.0        # MRAppMaster allocate interval
     rpc_latency_s: float = 0.005       # one-way RPC latency
+    #: Phase quantum of the NM heartbeat wheel: node phase offsets snap to
+    #: this grid so cohorts of nodes share beat instants and one aggregate
+    #: tick serves all of them (essential at 1k-10k nodes). 0.0 keeps every
+    #: node's exact per-node phase — byte-identical to the historical
+    #: per-process heartbeat loops.
+    nm_heartbeat_quantum_s: float = 0.0
 
     # -- container / JVM costs --------------------------------------------------
     container_launch_s: float = 2.5    # t^l: JVM start + localization

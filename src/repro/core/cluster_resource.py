@@ -8,6 +8,7 @@ sufficient to represent the latest resource status."
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import TYPE_CHECKING
 
 from ..cluster.resources import ResourceVector, dominant_resource
@@ -49,10 +50,70 @@ class ClusterResource:
     def free_containers(self, demand: ResourceVector) -> int:
         """How many ``demand``-sized containers fit cluster-wide right now
         (n^c in the paper's estimator)."""
+        mem_d, vc_d = demand.memory_mb, demand.vcores
+        if mem_d <= 0 and vc_d <= 0:
+            return 0  # degenerate ask: infinitely many "fit"
         count = 0
         for node in self.nodes:
             avail = node.available
-            while demand.fits_in(avail):
-                avail = avail - demand
-                count += 1
+            fit = avail.memory_mb // mem_d if mem_d > 0 else None
+            if vc_d > 0:
+                by_vc = avail.vcores // vc_d
+                fit = by_vc if fit is None else min(fit, by_vc)
+            count += fit
         return count
+
+    def idleness_view(self) -> "IdlenessView":
+        """A repairable snapshot of :meth:`nodes_by_idleness` for callers
+        that change one node at a time (the D+ placement loop)."""
+        return IdlenessView(self)
+
+
+class IdlenessView:
+    """``nodes_by_idleness()`` with O(log N)-comparison single-node repair.
+
+    The D+ balanced spread re-ranks nodes after *every* placement
+    (Algorithm 1: "we calculate the dominant resource and sort nodes
+    again"), but each placement changes exactly one node's availability —
+    so instead of a full O(N log N) re-sort this view bisects the one
+    changed node back into place. Keys are unique (node-id tie-break), so
+    the repaired list is *identical* to a fresh ``nodes_by_idleness()``.
+    If the cluster-wide dominant resource flips, every key changes and the
+    view rebuilds wholesale — rare, and no worse than the old re-sort.
+    """
+
+    def __init__(self, cluster_resource: ClusterResource) -> None:
+        self._cr = cluster_resource
+        self.dominant = cluster_resource.dominant()
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        self._nodes = self._cr.nodes_by_idleness()
+        self._keys = [self.key_of(node) for node in self._nodes]
+
+    def key_of(self, node: NodeState) -> tuple[int, str]:
+        """Sort key under the view's current dominant resource."""
+        return (-node.available.component(self.dominant), node.node_id)
+
+    @property
+    def nodes(self) -> list[NodeState]:
+        """Nodes in descending-idleness order (do not mutate)."""
+        return self._nodes
+
+    def reposition(self, node: NodeState, old_key: tuple[int, str]) -> None:
+        """Repair the ordering after ``node``'s availability changed.
+
+        ``old_key`` must be ``key_of(node)`` captured *before* the change.
+        """
+        dom = self._cr.dominant()
+        if dom != self.dominant:
+            self.dominant = dom
+            self._rebuild()
+            return
+        i = bisect_left(self._keys, old_key)
+        del self._keys[i]
+        del self._nodes[i]
+        new_key = self.key_of(node)
+        j = bisect_left(self._keys, new_key)
+        self._keys.insert(j, new_key)
+        self._nodes.insert(j, node)

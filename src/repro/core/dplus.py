@@ -78,30 +78,50 @@ class DPlusScheduler(SchedulerBase):
         if not pending:
             return grants
 
-        for level in (Locality.NODE_LOCAL, Locality.RACK_LOCAL, Locality.ANY):
+        if self.balanced_spread:
             # "After one type of resource request has been served, we
-            # calculate the dominant resource and sort nodes again."
-            progressed = True
-            while progressed and pending:
-                progressed = False
-                nodes = cr.nodes_by_idleness()
-                for node in nodes:
-                    placed_on_node = 0
-                    for item in list(pending):
-                        container = self._get_resource(item, node, level)
-                        if container is None:
-                            continue
-                        grants.append((item.app_id, container))
-                        pending.remove(item)
-                        self.queue.remove(item)
-                        placed_on_node += 1
-                        progressed = True
-                        if self.balanced_spread:
-                            break  # one task, then re-sort: round-robin
-                    if self.balanced_spread and placed_on_node:
-                        break  # re-sort nodes after each placement
+            # calculate the dominant resource and sort nodes again." Each
+            # placement changes exactly one node, so the re-sort is an
+            # O(log N) single-node repair on an incrementally maintained
+            # idleness view instead of a full sort per container.
+            view = cr.idleness_view()
+            for level in (Locality.NODE_LOCAL, Locality.RACK_LOCAL, Locality.ANY):
+                placed = True
+                while placed and pending:
+                    placed = False
+                    for node in view.nodes:
+                        old_key = view.key_of(node)
+                        for item in pending:
+                            container = self._get_resource(item, node, level)
+                            if container is None:
+                                continue
+                            grants.append((item.app_id, container))
+                            pending.remove(item)
+                            self.queue.remove(item)
+                            view.reposition(node, old_key)
+                            placed = True
+                            break  # one task, then re-rank: round-robin
+                        if placed:
+                            break  # restart from the (new) idlest node
                 if not pending:
                     return grants
+            return grants
+
+        # Greedy ablation (stock-style packing): one sorted pass per level
+        # fills each node with everything that fits. A retry pass can never
+        # place more — availability only shrinks — so the historical
+        # re-sort-and-rescan loop degenerates to this single sweep.
+        for level in (Locality.NODE_LOCAL, Locality.RACK_LOCAL, Locality.ANY):
+            for node in cr.nodes_by_idleness():
+                for item in list(pending):
+                    container = self._get_resource(item, node, level)
+                    if container is None:
+                        continue
+                    grants.append((item.app_id, container))
+                    pending.remove(item)
+                    self.queue.remove(item)
+            if not pending:
+                return grants
         return grants
 
     def _get_resource(self, item: PendingAsk, node: NodeState,

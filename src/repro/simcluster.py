@@ -67,6 +67,11 @@ class SimCluster:
         self.scheduler = scheduler if scheduler is not None else CapacityScheduler()
         self.rm = ResourceManager(self.env, self.topology, self.scheduler, self.conf,
                                   log=self.log)
+        #: Monotonic id source for nodes provisioned after construction.
+        #: Never decremented: decommissioned ids must not come back, and
+        #: deriving fresh ids from ``len(self.datanodes)`` would collide as
+        #: soon as a node has been removed.
+        self._node_seq = spec.num_datanodes
         self.node_managers: list[NodeManager] = []
         for i, node in enumerate(self.datanodes):
             # Deterministic but spread heartbeat phases, like real daemons
@@ -82,11 +87,13 @@ class SimCluster:
         The new node gets the next ``dn{i}`` id with the same deterministic
         rack assignment and heartbeat phase the constructor would have given
         it, joins the topology/network/HDFS/RM, and is schedulable from its
-        first heartbeat. Node ids are never reused: scale-*down* drains NMs
-        in place (``NodeManager.drain``) rather than removing nodes.
+        first heartbeat. Node ids are never reused — the id comes from a
+        monotonic counter, so it stays fresh even after :meth:`remove_node`
+        has decommissioned workers (``len(self.datanodes)`` would collide).
         """
         inst = self.spec.instance
-        i = len(self.datanodes)
+        i = self._node_seq
+        self._node_seq += 1
         node = Node(
             self.env,
             f"dn{i}",
@@ -108,6 +115,33 @@ class SimCluster:
         self.rm.register_node_manager(nm)
         self.node_managers.append(nm)
         return nm
+
+    def remove_node(self, node_id: str):
+        """Decommission a worker permanently (scale-down beyond drain).
+
+        The node leaves the RM (state forgotten, heartbeats unregistered),
+        the topology and the HDFS membership; its replicas are written off
+        and re-replicated onto the survivors. Its id is never reused —
+        :meth:`add_node` draws from a monotonic counter. The node must be
+        idle (no running containers); drain it first under load. Network
+        links are left in place: they are keyed by id and unreachable once
+        the node is out of the topology.
+
+        Returns the HDFS re-replication process.
+        """
+        nm = self.rm.node_managers[node_id]
+        if nm.running:
+            raise ValueError(
+                f"cannot decommission {node_id}: containers still running")
+        node = self.topology.node(node_id)
+        self.rm.remove_node(node_id)
+        self.topology.remove(node_id)
+        self.datanodes.remove(node)
+        self.node_managers = [m for m in self.node_managers
+                              if m.node_id != node_id]
+        daemon = self.datanode_daemons.pop(node_id)
+        daemon.fail()
+        return self.replication_manager.handle_datanode_loss(node_id)
 
     # -- convenience -----------------------------------------------------------
     def load_input_files(self, prefix: str, num_files: int, file_size_mb: float,

@@ -1,0 +1,217 @@
+"""Batched, phase-staggered NodeManager heartbeat wheel.
+
+Before this module each NodeManager ran its own kernel process::
+
+    yield timeout(offset % period)
+    while True:
+        rm.node_heartbeat(node_id)
+        yield timeout(period)
+
+which costs one generator resume + one Timeout allocation + one queue push
+per node per period — the dominant event source on a 10,000-node cluster —
+and has two latent bugs this module fixes:
+
+* **Float-error accrual.** Summing ``timeout(period)`` per tick makes the
+  k-th beat ``fl(...fl(fl(t0 + p) + p)... )``: k roundings, so at large sim
+  times neighbouring nodes' beat order can flip across runs/platforms (the
+  MR104 float-time class). The wheel schedules beat *k* at the exact grid
+  point ``anchor + k*period`` — one rounding, independent of k — and lands
+  the kernel event on that timestamp exactly via ``schedule_at``.
+* **Phase loss on rejoin.** ``NodeManager.restart`` used to spawn a fresh
+  loop, so a node crashed at ``t`` rejoined with its first beat at
+  ``t_restart + offset`` — after a churn plan's mass rejoin, previously
+  staggered nodes re-synchronize into a thundering herd. The wheel keeps
+  each node's *anchor* forever: a resumed node fires at the next grid point
+  of its **original** phase.
+
+One wheel serves every node of an RM. It arms one bare kernel event per
+*distinct* upcoming beat instant instead of running N sleeping processes;
+a tick delivers every beat due at that instant, in node registration order
+— identical to the per-process order, since same-time processes fired in
+insertion order. Each successor tick is armed immediately *after* the
+node's beat is delivered, which is exactly when the legacy loop created
+its next ``Timeout`` — so the tick's insertion order (and hence its
+ordering against other events at the very same timestamp) matches the old
+per-node timers event for event. Dead (``fail``) and drained nodes are
+*suspended*: their entry is detached (token invalidated, lazily skipped)
+and no beat is delivered until ``resume``.
+
+``quantum > 0`` (``HadoopConfig.nm_heartbeat_quantum_s``) snaps anchors
+onto a coarse phase grid so thousands of nodes share fire times and one
+aggregate tick serves whole cohorts. The default 0.0 keeps every node's
+exact legacy phase (byte-identical figure snapshots); the scale benchmarks
+opt in.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import count
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..simulation.bucketq import BucketQueue
+from ..simulation.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simulation.core import Environment
+
+
+class _Entry:
+    """Wheel bookkeeping for one registered node."""
+
+    __slots__ = ("anchor", "seq", "k", "token")
+
+    def __init__(self, anchor: float, seq: int, token: int) -> None:
+        #: Absolute time of the node's first-ever beat; the node's phase.
+        #: Never changes — resume() lands back on this grid.
+        self.anchor = anchor
+        #: Registration order; breaks ties between same-instant beats.
+        self.seq = seq
+        #: Beats delivered so far; next fire is ``anchor + k*period``.
+        self.k = 0
+        #: Identity of the queued beat. ``None`` while suspended; a queued
+        #: entry whose token no longer matches is skipped lazily.
+        self.token: Optional[int] = token
+
+
+class HeartbeatWheel:
+    """Aggregated heartbeat timer for all NodeManagers of one RM."""
+
+    def __init__(self, env: "Environment", period: float,
+                 deliver: Callable[[str], None], quantum: float = 0.0) -> None:
+        if period <= 0:
+            raise ValueError(f"heartbeat period must be positive, got {period}")
+        if quantum < 0:
+            raise ValueError(f"heartbeat quantum cannot be negative, got {quantum}")
+        self._env = env
+        self._period = period
+        self._quantum = quantum
+        self._deliver = deliver
+        self._entries: dict[str, _Entry] = {}
+        self._queue = BucketQueue()
+        self._seq = count()
+        self._tokens = count()
+        #: Beat instants with a tick event already on the kernel queue.
+        #: With ``quantum > 0`` whole cohorts share one instant — and one
+        #: tick — which is where the 10k-node aggregation win comes from.
+        self._armed: set[float] = set()
+        self.ticks = 0
+        self.heartbeats_delivered = 0
+
+    # -- membership ---------------------------------------------------------
+    def register(self, node_id: str, offset: float = 0.0) -> None:
+        """Start heartbeating ``node_id``; first beat at ``now + offset%period``.
+
+        Matches the legacy per-process semantics exactly: a node registered
+        at time t with phase offset o beats at ``t + o%p, +p, +2p, ...``.
+        """
+        if node_id in self._entries:
+            raise ValueError(f"node {node_id!r} already on the heartbeat wheel")
+        anchor = self._env.now + (offset % self._period)
+        if self._quantum > 0:
+            # Snap to the quantum grid, always forward (never before now).
+            anchor = math.ceil(anchor / self._quantum) * self._quantum
+        entry = _Entry(anchor, next(self._seq), next(self._tokens))
+        self._entries[node_id] = entry
+        self._queue.push((anchor, entry.seq, entry.token, node_id))
+        self._arm_time(anchor)
+
+    def unregister(self, node_id: str) -> None:
+        """Forget ``node_id`` entirely (decommission)."""
+        self._entries.pop(node_id, None)
+
+    def suspend(self, node_id: str) -> None:
+        """Stop delivering beats (node died or was drained). Idempotent."""
+        entry = self._entries.get(node_id)
+        if entry is not None:
+            entry.token = None
+
+    def resume(self, node_id: str) -> None:
+        """Resume beats on the node's *original* phase grid.
+
+        The next beat is the earliest ``anchor + k*period >= now`` — not
+        ``now + offset`` — so a mass rejoin after churn keeps the fleet's
+        stagger instead of synchronizing into a thundering herd.
+        """
+        entry = self._entries.get(node_id)
+        if entry is None:
+            raise KeyError(f"node {node_id!r} is not on the heartbeat wheel")
+        if entry.token is not None:
+            return  # already beating
+        now = self._env.now
+        period = self._period
+        k = 0
+        if now > entry.anchor:
+            k = math.ceil((now - entry.anchor) / period)
+            # ceil() on floats can land one grid point off; settle on the
+            # minimal k with anchor + k*period >= now.
+            while entry.anchor + k * period < now:
+                k += 1
+            while k > 0 and entry.anchor + (k - 1) * period >= now:
+                k -= 1
+        entry.k = k
+        entry.token = next(self._tokens)
+        fire = entry.anchor + k * period
+        self._queue.push((fire, entry.seq, entry.token, node_id))
+        self._arm_time(fire)
+
+    # -- introspection -------------------------------------------------------
+    def is_active(self, node_id: str) -> bool:
+        entry = self._entries.get(node_id)
+        return entry is not None and entry.token is not None
+
+    def anchor_of(self, node_id: str) -> float:
+        return self._entries[node_id].anchor
+
+    def next_fire(self, node_id: str) -> Optional[float]:
+        """Next beat time for an active node, ``None`` while suspended."""
+        entry = self._entries[node_id]
+        if entry.token is None:
+            return None
+        return entry.anchor + entry.k * self._period
+
+    # -- timer machinery -----------------------------------------------------
+    def _arm_time(self, when: float) -> None:
+        """Put a tick on the kernel queue for beat instant ``when`` (once)."""
+        if when in self._armed:
+            return
+        self._armed.add(when)
+        tick = Event(self._env)
+        tick._value = None  # pre-triggered, like a Timeout
+        tick.callbacks.append(self._make_fire(when))
+        self._env.schedule_at(tick, when)
+
+    def _make_fire(self, when: float) -> Callable[[Event], None]:
+        def fire(_event: Event) -> None:
+            self._fire(when)
+
+        return fire
+
+    def _fire(self, when: float) -> None:
+        self._armed.discard(when)
+        now = self._env.now
+        queue = self._queue
+        entries = self._entries
+        period = self._period
+        deliver = self._deliver
+        self.ticks += 1
+        while True:
+            due = queue.peek_time()
+            if due is None or due > now:
+                break
+            _, seq, token, node_id = queue.pop()
+            entry = entries.get(node_id)
+            if entry is None or entry.token != token:
+                continue  # suspended/unregistered after this beat was queued
+            # Queue the successor before delivering: if the delivery itself
+            # suspends the node, suspend() invalidates this fresh token too.
+            entry.k += 1
+            entry.token = next(self._tokens)
+            nxt = entry.anchor + entry.k * period
+            queue.push((nxt, seq, entry.token, node_id))
+            self.heartbeats_delivered += 1
+            deliver(node_id)
+            # Arm the successor *after* delivering, exactly when the legacy
+            # per-node loop created its next Timeout — keeps insertion order
+            # against other same-instant events byte-identical.
+            self._arm_time(nxt)

@@ -187,6 +187,30 @@ class HFSPScheduler(SchedulerBase):
     def on_node_heartbeat(self, node: NodeState) -> list[tuple[str, Container]]:
         now = self.rm.env.now
         grants: list[tuple[str, Container]] = []
+        if not self.queue_states:
+            # Without the queue layer, priority keys are fixed for the whole
+            # heartbeat (estimates only move when an app *finishes*, which
+            # cannot happen inside this call), so one sort + one pass grants
+            # exactly what the historical grant-then-re-rank loop did — the
+            # node's availability only shrinks, so previously skipped asks
+            # can never fit on a re-rank.
+            granted: set[int] = set()
+            for pending in self._pending_in_order(now):
+                if node.node_id in pending.request.blacklist:
+                    continue
+                if not node.can_fit(pending.request.resource,
+                                    memory_only=self.memory_only):
+                    continue
+                container = self._grant(pending, node,
+                                        memory_only=self.memory_only)
+                granted.add(id(pending))
+                grants.append((pending.app_id, container))
+            if granted:
+                self.queue = [p for p in self.queue if id(p) not in granted]
+            return grants
+
+        # Queue layer: each grant moves its queue's usage ratio, which can
+        # reorder *whole queues*, so re-rank after every grant.
         progressed = True
         while progressed:
             progressed = False

@@ -19,7 +19,10 @@ class NodeManager:
 
     * Heartbeats every ``nm_heartbeat_s`` (phase-offset per node, as real NMs
       start at arbitrary times) — the stock scheduler only hands out
-      containers inside these heartbeats.
+      containers inside these heartbeats. The beats themselves come from the
+      RM's shared :class:`~repro.yarn.heartbeat.HeartbeatWheel`; the NM only
+      registers/suspends/resumes its membership, and its phase (the wheel
+      *anchor*) survives crash/rejoin and drain/undrain cycles.
     * ``launch(container, runnable)`` models container start-up (JVM spawn +
       localization, ``container_launch_s``) before running the payload.
     """
@@ -41,18 +44,12 @@ class NodeManager:
         #: Fault-injection hook: ``decide(container) -> Optional[float]``
         #: returns seconds-until-crash for a flaky container, or None.
         self._flaky: Optional[Callable[[Container], Optional[float]]] = None
-        self._heartbeat_proc = env.process(self._heartbeat_loop(), name=f"nm-hb-{node.node_id}")
+        if rm.heartbeat_wheel is not None:
+            rm.heartbeat_wheel.register(node.node_id, heartbeat_offset)
 
     @property
     def node_id(self) -> str:
         return self.node.node_id
-
-    def _heartbeat_loop(self) -> Generator:
-        period = self.rm.conf.nm_heartbeat_s
-        yield self.env.timeout(self.heartbeat_offset % period if period > 0 else 0.0)
-        while True:
-            self.rm.node_heartbeat(self.node_id)
-            yield self.env.timeout(period)
 
     def launch(self, container: Container, runnable: Generator,
                name: str = "container", launch_delay: Optional[float] = None,
@@ -123,9 +120,8 @@ class NodeManager:
             return
         self.failed = True
         self.failed_at = self.env.now
-        if self._heartbeat_proc.is_alive:
-            self._heartbeat_proc.defuse()
-            self._heartbeat_proc.interrupt(cause)
+        if self.rm.heartbeat_wheel is not None:
+            self.rm.heartbeat_wheel.suspend(self.node_id)
         for proc in list(self.running.values()):
             if proc.is_alive:
                 proc.defuse()
@@ -135,10 +131,12 @@ class NodeManager:
     def restart(self) -> None:
         """Bring a failed NodeManager back (transient outage recovered).
 
-        A fresh heartbeat loop starts and the RM marks the node alive with
-        zeroed accounting — everything that ran here died with the failure,
-        so the rejoining node is empty, exactly like a real NM restart
-        (containers are not work-preserved across NM death).
+        Heartbeats resume on the node's *original* phase grid (the wheel
+        anchor survives the outage — a mass rejoin after churn must not
+        synchronize the fleet into a thundering herd) and the RM marks the
+        node alive with zeroed accounting — everything that ran here died
+        with the failure, so the rejoining node is empty, exactly like a
+        real NM restart (containers are not work-preserved across NM death).
         """
         if not self.failed:
             return
@@ -148,8 +146,8 @@ class NodeManager:
         if self.drained:
             # Recovered hardware stays out of service until undrained.
             return
-        self._heartbeat_proc = self.env.process(
-            self._heartbeat_loop(), name=f"nm-hb-{self.node_id}")
+        if self.rm.heartbeat_wheel is not None:
+            self.rm.heartbeat_wheel.resume(self.node_id)
         self.rm.node_rejoined(self.node_id)
 
     def drain(self) -> None:
@@ -163,9 +161,8 @@ class NodeManager:
         if self.drained or self.failed:
             return
         self.drained = True
-        if self._heartbeat_proc.is_alive:
-            self._heartbeat_proc.defuse()
-            self._heartbeat_proc.interrupt("drained")
+        if self.rm.heartbeat_wheel is not None:
+            self.rm.heartbeat_wheel.suspend(self.node_id)
         node = self.rm.nodes.get(self.node_id)
         if node is not None:
             node.alive = False
@@ -178,7 +175,7 @@ class NodeManager:
         self.drained = False
         if self.failed:
             return  # crashed while parked; restart() will bring it back
-        self._heartbeat_proc = self.env.process(
-            self._heartbeat_loop(), name=f"nm-hb-{self.node_id}")
+        if self.rm.heartbeat_wheel is not None:
+            self.rm.heartbeat_wheel.resume(self.node_id)
         self.rm.node_rejoined(self.node_id)
         self.rm.log.mark(self.env.now, "node_undrained", node=self.node_id)

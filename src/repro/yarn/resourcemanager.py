@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Any, Generator, Optional
 from ..cluster.resources import ResourceVector
 from ..simulation.errors import Interrupt
 from ..simulation.monitor import EventLog
+from .heartbeat import HeartbeatWheel
 from .records import Application, Container, ContainerRequest, IdAllocator, NodeState
 from .scheduler import SchedulerBase
 
@@ -35,15 +36,24 @@ class ResourceManager:
         self.conf = conf
         self.log = log if log is not None else EventLog()
         self.ids = IdAllocator()
-        scheduler.bind(self)
-
+        #: One aggregated heartbeat timer for every NM of this RM (replaces
+        #: the historical per-node heartbeat processes). ``None`` only when
+        #: heartbeats are configured off.
+        self.heartbeat_wheel: Optional[HeartbeatWheel] = (
+            HeartbeatWheel(env, conf.nm_heartbeat_s, self.node_heartbeat,
+                           quantum=conf.nm_heartbeat_quantum_s)
+            if conf.nm_heartbeat_s > 0 else None)
         self.nodes: dict[str, NodeState] = {}
+        #: Cluster-wide totals, maintained incrementally (node admission and
+        #: a per-NodeState usage watcher) so ``total_capability`` and
+        #: ``total_used`` are O(1) — they sit on the heartbeat hot path and
+        #: re-summing 10k nodes per beat dominated large-cluster runs.
+        self._total_capability = ResourceVector.zero()
+        self._total_used_mb = 0
+        self._total_used_vcores = 0
         for node in topology.nodes:
-            advertised = ResourceVector(
-                memory_mb=node.capability.memory_mb,
-                vcores=conf.effective_vcores(node.capability.vcores),
-            )
-            self.nodes[node.node_id] = NodeState(node.node_id, advertised)
+            self._admit(node)
+        scheduler.bind(self)
 
         self.node_managers: dict[str, "NodeManager"] = {}
         self.apps: dict[str, Application] = {}
@@ -81,27 +91,50 @@ class ResourceManager:
         """Admit a node provisioned after RM construction (elastic scale-up)."""
         if node.node_id in self.nodes:
             raise ValueError(f"node {node.node_id!r} already registered")
+        self._admit(node)
+        self.log.mark(self.env.now, "node_added", node=node.node_id)
+
+    def _admit(self, node) -> NodeState:
         advertised = ResourceVector(
             memory_mb=node.capability.memory_mb,
             vcores=self.conf.effective_vcores(node.capability.vcores),
         )
-        self.nodes[node.node_id] = NodeState(node.node_id, advertised)
-        self.log.mark(self.env.now, "node_added", node=node.node_id)
+        state = NodeState(node.node_id, advertised, watcher=self._on_node_usage)
+        self.nodes[node.node_id] = state
+        self._total_capability = self._total_capability + advertised
+        return state
+
+    def _on_node_usage(self, delta_memory_mb: int, delta_vcores: int) -> None:
+        self._total_used_mb += delta_memory_mb
+        self._total_used_vcores += delta_vcores
+
+    def remove_node(self, node_id: str) -> None:
+        """Decommission a node: forget its state entirely.
+
+        Unlike :meth:`node_lost` (which keeps the dead NodeState around for
+        a possible rejoin), removal is permanent — the id must never be
+        reused. Any straggler ``container_finished`` for the node becomes a
+        no-op, so the watcher is detached to keep the O(1) totals exact.
+        """
+        state = self.nodes.pop(node_id, None)
+        if state is None:
+            raise KeyError(f"unknown node {node_id!r}")
+        state.reset_used()  # drain its contribution from the usage totals
+        state.watcher = None
+        self._total_capability = self._total_capability - state.capability
+        if self.heartbeat_wheel is not None:
+            self.heartbeat_wheel.unregister(node_id)
+        self.node_managers.pop(node_id, None)
+        self.log.mark(self.env.now, "node_removed", node=node_id)
 
     def node_state(self, node_id: str) -> NodeState:
         return self.nodes[node_id]
 
     def total_capability(self) -> ResourceVector:
-        total = ResourceVector.zero()
-        for state in self.nodes.values():
-            total = total + state.capability
-        return total
+        return self._total_capability
 
     def total_used(self) -> ResourceVector:
-        total = ResourceVector.zero()
-        for state in self.nodes.values():
-            total = total + state.used
-        return total
+        return ResourceVector(self._total_used_mb, self._total_used_vcores)
 
     # -- application lifecycle ----------------------------------------------------
     def submit_application(self, app: Application) -> Application:
@@ -227,8 +260,7 @@ class ResourceManager:
         node = self.nodes.get(node_id)
         if node is not None:
             node.alive = True
-            node.used_memory_mb = 0
-            node.used_vcores = 0
+            node.reset_used()
         self.log.mark(self.env.now, "node_rejoined", node=node_id)
 
     def forget_application(self, app_id: str) -> None:

@@ -114,17 +114,20 @@ class CapacityScheduler(SchedulerBase):
         self.memory_only = memory_only
 
     def on_node_heartbeat(self, node: NodeState) -> list[tuple[str, Container]]:
+        # Single pass over the FIFO queue. Equivalent to the classic
+        # grant-then-rescan-from-head loop: a grant only *shrinks* the
+        # node's availability, so an ask that was skipped earlier in the
+        # pass can never fit on a rescan — but single-pass is O(queue)
+        # instead of O(grants x queue).
         grants: list[tuple[str, Container]] = []
-        progressed = True
-        while progressed:
-            progressed = False
-            for pending in list(self.queue):
-                if node.node_id in pending.request.blacklist:
-                    continue
-                if node.can_fit(pending.request.resource, memory_only=self.memory_only):
-                    container = self._grant(pending, node, memory_only=self.memory_only)
-                    self.queue.remove(pending)
-                    grants.append((pending.app_id, container))
-                    progressed = True
-                    break
+        remaining: list[PendingAsk] = []
+        for pending in self.queue:
+            if (node.node_id not in pending.request.blacklist
+                    and node.can_fit(pending.request.resource,
+                                     memory_only=self.memory_only)):
+                container = self._grant(pending, node, memory_only=self.memory_only)
+                grants.append((pending.app_id, container))
+            else:
+                remaining.append(pending)
+        self.queue = remaining
         return grants
