@@ -49,6 +49,8 @@ def scenario_digest() -> dict[str, str]:
     serving_second = _run_serving_scenario()
     scale_first = _run_scale_scenario()
     scale_second = _run_scale_scenario()
+    telemetry_first = _run_serving_scenario(telemetry=True)
+    telemetry_second = _run_serving_scenario(telemetry=True)
     return {
         "event_digest": first[0],
         "metrics_digest": first[1],
@@ -62,6 +64,16 @@ def scenario_digest() -> dict[str, str]:
         "scale_metrics_digest": scale_first[1],
         "scale_repeat_digest": scale_second[0],
         "scale_repeat_metrics_digest": scale_second[1],
+        # The serving scenario again, telemetry on: the event digest must
+        # equal the telemetry-off one (the scraper piggybacks on event pops
+        # and adds zero events), and the OpenMetrics export must be
+        # byte-stable across hash seeds and repeats.
+        "telemetry_event_digest": telemetry_first[0],
+        "telemetry_metrics_digest": telemetry_first[1],
+        "telemetry_repeat_digest": telemetry_second[0],
+        "telemetry_repeat_metrics_digest": telemetry_second[1],
+        "telemetry_openmetrics_digest": telemetry_first[2],
+        "telemetry_repeat_openmetrics_digest": telemetry_second[2],
     }
 
 
@@ -104,14 +116,20 @@ def _run_scenario() -> tuple[str, str]:
     return event_h.hexdigest(), metrics_h.hexdigest()
 
 
-def _run_serving_scenario() -> tuple[str, str]:
+def _run_serving_scenario(telemetry: bool = False) -> tuple[str, ...]:
     """Serving-mode digest: churn + admission + autoscaling replay.
 
     Small (≈30 arrivals) but crosses every serving code path that owns a
     timer or a queue: rejection retry backoff, shed batch jobs, degraded
     dispatch, node crash/rejoin, provisioning, and idle drains.
+
+    With ``telemetry=True`` the same replay runs with the telemetry
+    scraper installed and a third element is returned: the sha256 of the
+    OpenMetrics export. The event digest lets the sanitizer prove scrape
+    transparency (it must equal the telemetry-off digest).
     """
-    from repro.config import HadoopConfig, ServingConfig, a3_cluster
+    from repro.config import (HadoopConfig, ServingConfig, TelemetryConfig,
+                              a3_cluster)
     from repro.faults.plan import churn_plan
     from repro.trace import (build_trace_cluster, default_serving_mix,
                              poisson_trace, replay_load)
@@ -119,7 +137,8 @@ def _run_serving_scenario() -> tuple[str, str]:
     serving = ServingConfig(latency_deadline_s=75.0, slots_per_node=2,
                             initial_guess_s=12.0, autoscale=True,
                             min_nodes=3, max_nodes=6)
-    conf = HadoopConfig(am_resource_fraction=0.3, serving=serving)
+    conf = HadoopConfig(am_resource_fraction=0.3, serving=serving,
+                        telemetry=TelemetryConfig() if telemetry else None)
     cluster = build_trace_cluster(a3_cluster(3), conf=conf, seed=7)
 
     event_h = hashlib.sha256()
@@ -133,6 +152,11 @@ def _run_serving_scenario() -> tuple[str, str]:
     report = replay_load(cluster, trace, fault_plan=churn_plan(90.0))
     metrics_h = hashlib.sha256(
         json.dumps(report.to_dict(), sort_keys=True).encode())
+    if telemetry:
+        openmetrics_h = hashlib.sha256(
+            cluster.env.telemetry.openmetrics().encode())
+        return (event_h.hexdigest(), metrics_h.hexdigest(),
+                openmetrics_h.hexdigest())
     return event_h.hexdigest(), metrics_h.hexdigest()
 
 
@@ -227,7 +251,8 @@ def run_sanitizer(seeds: tuple[int, int] = (1, 2),
     b = _child_digest(seeds[1])
 
     failures = []
-    scenarios = (("", ""), ("serving ", "serving_"), ("scale ", "scale_"))
+    scenarios = (("", ""), ("serving ", "serving_"), ("scale ", "scale_"),
+                 ("telemetry ", "telemetry_"))
     for run, digest in (("A", a), ("B", b)):
         for scenario, prefix in scenarios:
             if (digest[f"{prefix}event_digest"]
@@ -239,6 +264,17 @@ def run_sanitizer(seeds: tuple[int, int] = (1, 2),
                     != digest[f"{prefix}repeat_metrics_digest"]):
                 failures.append(
                     f"run {run}: repeated {scenario}run changed metrics")
+        # Scrape transparency: installing telemetry must not add, remove,
+        # or reorder a single kernel event relative to the identical
+        # telemetry-off serving replay.
+        if digest["telemetry_event_digest"] != digest["serving_event_digest"]:
+            failures.append(
+                f"run {run}: telemetry perturbed the serving event order "
+                f"(the scraper must not schedule events)")
+        if (digest["telemetry_openmetrics_digest"]
+                != digest["telemetry_repeat_openmetrics_digest"]):
+            failures.append(
+                f"run {run}: repeated OpenMetrics export diverged")
     for scenario, prefix in scenarios:
         if a[f"{prefix}event_digest"] != b[f"{prefix}event_digest"]:
             failures.append(
@@ -246,6 +282,8 @@ def run_sanitizer(seeds: tuple[int, int] = (1, 2),
                 f"(hash-order leak — see rule MR102)")
         if a[f"{prefix}metrics_digest"] != b[f"{prefix}metrics_digest"]:
             failures.append(f"{scenario}metrics depend on PYTHONHASHSEED")
+    if a["telemetry_openmetrics_digest"] != b["telemetry_openmetrics_digest"]:
+        failures.append("OpenMetrics export depends on PYTHONHASHSEED")
 
     if failures:
         for line in failures:
@@ -261,4 +299,7 @@ def run_sanitizer(seeds: tuple[int, int] = (1, 2),
         f"across seeds and repeats (churn + autoscale replay)")
     say(f"OK scale digest   {a['scale_event_digest'][:16]}… identical "
         f"across seeds and repeats (1k-node heartbeat wheel)")
+    say(f"OK telemetry      event digest equals the telemetry-off replay "
+        f"(scrape transparency); OpenMetrics sha "
+        f"{a['telemetry_openmetrics_digest'][:16]}… stable across seeds")
     return 0

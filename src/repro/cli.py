@@ -185,10 +185,39 @@ def _print_load_report(report, as_json: bool, detailed: bool) -> None:
                       f"-{scaler['scale_down_events']} events, "
                       f"{scaler['node_hours']:.3f} node-hours, "
                       f"{scaler['final_billable_nodes']} billable nodes")
+        if report.telemetry:
+            tel = report.telemetry
+            print(f"  telemetry   {tel['scrapes']} scrapes x "
+                  f"{tel['series']} series "
+                  f"(every {tel['scrape_interval_s']:g}s sim, "
+                  f"{tel.get('alerts_fired', 0)} alerts)")
+            for row in tel.get("alerts", []):
+                resolved = (f", resolved {row['resolved_at_s']:.1f}s"
+                            if "resolved_at_s" in row else "")
+                print(f"    alert {row['rule']} [{row['severity']}] "
+                      f"at {row['at_s']:.1f}s{resolved}: {row['message']}")
+
+
+def _serving_from_args(args):
+    """``ServingConfig`` (or None) from the shared --slo/--autoscale flags."""
+    from .config import ServingConfig
+
+    if not args.slo:
+        if args.autoscale is not None:
+            raise SystemExit("--autoscale requires --slo")
+        return None
+    kwargs = dict(latency_deadline_s=args.deadline, slots_per_node=2,
+                  initial_guess_s=12.0)
+    if args.autoscale is not None:
+        lo, hi = args.autoscale
+        if not 1 <= lo <= hi:
+            raise SystemExit("--autoscale needs 1 <= MIN <= MAX")
+        kwargs.update(autoscale=True, min_nodes=lo, max_nodes=hi)
+    return ServingConfig(**kwargs)
 
 
 def cmd_trace(args) -> int:
-    from .config import HadoopConfig, ServingConfig
+    from .config import HadoopConfig, TelemetryConfig
     from .trace import (
         STRATEGY_SPECULATIVE,
         STRATEGY_STOCK,
@@ -200,21 +229,12 @@ def cmd_trace(args) -> int:
         template_baselines,
     )
 
-    serving = None
-    if args.slo:
-        kwargs = dict(latency_deadline_s=args.deadline, slots_per_node=2,
-                      initial_guess_s=12.0)
-        if args.autoscale is not None:
-            lo, hi = args.autoscale
-            if not 1 <= lo <= hi:
-                raise SystemExit("--autoscale needs 1 <= MIN <= MAX")
-            kwargs.update(autoscale=True, min_nodes=lo, max_nodes=hi)
-        serving = ServingConfig(**kwargs)
-    elif args.autoscale is not None:
-        raise SystemExit("--autoscale requires --slo")
+    serving = _serving_from_args(args)
     mix = default_serving_mix() if args.slo else default_short_job_mix()
     spec = _cluster_spec(args.cluster)
-    conf = HadoopConfig(am_resource_fraction=args.am_fraction, serving=serving)
+    telemetry = TelemetryConfig() if args.telemetry else None
+    conf = HadoopConfig(am_resource_fraction=args.am_fraction, serving=serving,
+                        telemetry=telemetry)
     if args.trace_file:
         with open(args.trace_file) as f:
             trace = parse_trace_file(f.read(), mix)
@@ -250,6 +270,103 @@ def cmd_trace(args) -> int:
                           baselines=baselines, trace=trace,
                           fault_plan=fault_plan)
         _print_load_report(report, args.json, args.report)
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    """Replay a trace with telemetry on and export the scraped series."""
+    from .config import HadoopConfig, TelemetryConfig
+    from .trace import (
+        SCHEDULER_CAPACITY,
+        STRATEGY_STOCK,
+        TRACE_STRATEGIES,
+        build_trace_cluster,
+        default_queue_of,
+        default_serving_mix,
+        default_short_job_mix,
+        poisson_trace,
+        replay_load,
+        template_baselines,
+    )
+
+    serving = _serving_from_args(args)
+    telemetry_conf = TelemetryConfig(scrape_interval_s=args.interval)
+    conf = HadoopConfig(am_resource_fraction=args.am_fraction, serving=serving,
+                        telemetry=telemetry_conf)
+    mix = default_serving_mix() if args.slo else default_short_job_mix()
+    spec = _cluster_spec(args.cluster)
+    duration_s = args.minutes * 60.0
+    trace = poisson_trace(mix, args.rate, duration_s, seed=args.seed)
+
+    fault_plan = None
+    if args.fault_plan:
+        from .faults.plan import named_plan
+
+        try:
+            fault_plan = named_plan(args.fault_plan, duration_s,
+                                    seed=args.fault_seed)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+
+    strategy = TRACE_MODES.get(args.mode, STRATEGY_STOCK)
+    assert strategy in TRACE_STRATEGIES
+    baselines = template_baselines(spec, mix, conf=conf)
+    # replay_load installs telemetry from conf; building the cluster here
+    # (instead of via run_load) keeps the handle for the exporters below.
+    cluster = build_trace_cluster(spec, scheduler=args.scheduler,
+                                  strategy=strategy, conf=conf)
+    tracer = None
+    if args.perfetto:
+        from .observe.tracer import install_tracer
+
+        tracer = install_tracer(cluster)
+    queue_of = default_queue_of if args.scheduler == SCHEDULER_CAPACITY else None
+    report = replay_load(cluster, trace, strategy, baselines=baselines,
+                         queue_of=queue_of, fault_plan=fault_plan)
+    telemetry = cluster.env.telemetry
+    assert telemetry is not None
+
+    if args.format == "openmetrics":
+        payload = telemetry.openmetrics()
+    elif args.format == "jsonl":
+        payload = telemetry.jsonl()
+    else:
+        section = telemetry.report_section()
+        lines = [report.summary(),
+                 f"{section['scrapes']} scrapes x {section['series']} series "
+                 f"every {section['scrape_interval_s']:g}s sim "
+                 f"({section['retained_samples']} samples retained, "
+                 f"~{section['ring_bytes']} ring bytes)"]
+        for row in section.get("alerts", []):
+            resolved = (f", resolved {row['resolved_at_s']:.1f}s"
+                        if "resolved_at_s" in row else "")
+            lines.append(f"alert {row['rule']} [{row['severity']}] "
+                         f"at {row['at_s']:.1f}s{resolved}: {row['message']}")
+        if not section.get("alerts"):
+            lines.append("no alerts fired")
+        payload = "\n".join(lines) + "\n"
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(payload)
+        print(f"wrote {args.format} export to {args.output}")
+    else:
+        sys.stdout.write(payload)
+
+    if args.perfetto:
+        import json as _json
+
+        from .observe.export import to_trace_events, validate_trace_events
+
+        obj = to_trace_events(tracer, trace_name="metrics",
+                              telemetry=telemetry)
+        problems = validate_trace_events(obj)
+        if problems:
+            for problem in problems:
+                print(f"trace validation: {problem}", file=sys.stderr)
+            return 1
+        with open(args.perfetto, "w") as f:
+            _json.dump(obj, f)
+        print(f"wrote Perfetto trace with counter tracks to {args.perfetto}")
     return 0
 
 
@@ -506,7 +623,46 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar=("MIN", "MAX"),
                    help="with --slo: reactive autoscaling between MIN and "
                         "MAX nodes (queue depth + SLO attainment signals)")
+    p.add_argument("--telemetry", action="store_true",
+                   help="sample the telemetry registry during the replay; "
+                        "adds scrape/alert rows to --report and a "
+                        "'telemetry' section to --json")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "metrics",
+        help="replay a trace with telemetry on and export the time series")
+    p.add_argument("--rate", type=float, default=3.0, help="jobs per minute")
+    p.add_argument("--minutes", type=float, default=5.0)
+    p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--cluster", default="a3", choices=["a3", "a2"])
+    p.add_argument("--scheduler", default="fifo",
+                   choices=["fifo", "capacity", "hfsp"])
+    p.add_argument("--mode", default="stock", choices=sorted(TRACE_MODES),
+                   help="submission strategy (default: stock)")
+    p.add_argument("--am-fraction", type=float, default=0.3)
+    p.add_argument("--slo", action="store_true",
+                   help="serving mode (SLO-classed mix, admission control); "
+                        "enables attainment series and burn-rate alerting")
+    p.add_argument("--deadline", type=float, default=75.0,
+                   help="latency-class deadline in seconds (with --slo)")
+    p.add_argument("--autoscale", nargs=2, type=int, default=None,
+                   metavar=("MIN", "MAX"),
+                   help="with --slo: reactive autoscaling between MIN and MAX")
+    p.add_argument("--fault-plan", default=None, metavar="NAME",
+                   help="inject a named fault plan (churn, crash, gray)")
+    p.add_argument("--fault-seed", type=int, default=23)
+    p.add_argument("--interval", type=float, default=5.0,
+                   help="scrape cadence in simulated seconds")
+    p.add_argument("--format", default="summary",
+                   choices=["openmetrics", "jsonl", "summary"],
+                   help="export format (default: summary to stdout)")
+    p.add_argument("--output", default=None, metavar="FILE",
+                   help="write the export to FILE instead of stdout")
+    p.add_argument("--perfetto", default=None, metavar="FILE",
+                   help="also trace the replay and write Perfetto JSON with "
+                        "telemetry counter tracks to FILE")
+    p.set_defaults(fn=cmd_metrics)
 
     p = sub.add_parser("spark", help="run the §VI Spark-migration ladder")
     p.add_argument("--files", type=int, default=4)

@@ -184,6 +184,10 @@ class SharedFabric:
         """
         return tuple(self._flows)
 
+    def flow_count(self) -> int:
+        """Live-flow count without materializing :attr:`active_flows`."""
+        return len(self._flows)
+
     def flows_on(self, link_id: str) -> list[Flow]:
         return list(self._link_members.get(link_id, ()))
 
@@ -366,7 +370,13 @@ class FairShareDevice:
 
     @property
     def active_count(self) -> int:
-        return len(self.fabric.active_flows)
+        return self.fabric.flow_count()
 
     def utilization(self) -> float:
-        return self.fabric.utilization(self.LINK)
+        # Telemetry probes read every node's devices on a cadence; the
+        # idle-device fast path keeps that walk from paying a genexpr sum
+        # per node (same-module private access, not an API).
+        fabric = self.fabric
+        if not fabric._flows:
+            return 0.0
+        return fabric.utilization(self.LINK)

@@ -165,6 +165,63 @@ class ServingConfig:
 
 
 @dataclass(frozen=True)
+class TelemetryConfig:
+    """Knobs of the continuous-telemetry subsystem (:mod:`repro.telemetry`).
+
+    Attached to :class:`HadoopConfig` as ``conf.telemetry``; the default
+    ``None`` disables telemetry entirely — no scraper hook is installed,
+    every instrumentation site costs one ``is not None`` attribute read,
+    and all figure snapshots stay byte-identical. Constructing one enables
+    sim-time scraping into bounded ring buffers plus (when ``alerts``) the
+    alert-rule engine.
+    """
+
+    # -- scraping -------------------------------------------------------------
+    #: Sampling cadence in *simulated* seconds. Samples are taken from the
+    #: kernel's event-pop hook, so scraping adds zero events to the
+    #: schedule and cannot perturb event order.
+    scrape_interval_s: float = 1.0
+    #: Ring-buffer length per series; older samples are evicted, bounding
+    #: retention at ``retention_samples * num_series`` floats.
+    retention_samples: int = 512
+    #: When the kernel sleeps across many scrape grid points (an idle gap),
+    #: at most this many catch-up samples are emitted per popped event; the
+    #: rest are skipped and counted in ``samples_skipped``.
+    catchup_limit: int = 8
+    #: Minimum simulated seconds between recomputes of the O(nodes) probes
+    #: (per-node utilization, per-rack liveness, heartbeat staleness,
+    #: most-loaded fabric link).
+    #: Scrapes between recomputes re-export the cached values, keeping the
+    #: 1 s scrape cadence affordable at 10k nodes.
+    node_probe_interval_s: float = 5.0
+
+    # -- alert rules ----------------------------------------------------------
+    alerts: bool = True
+    #: SLO attainment target the error budget is measured against
+    #: (budget = 1 - slo_target).
+    slo_target: float = 0.9
+    #: Multi-window burn-rate alerting (Google SRE style): fire when the
+    #: error budget burns faster than ``burn_threshold``× the sustainable
+    #: rate over *both* the fast and the slow window.
+    burn_fast_window_s: float = 30.0
+    burn_slow_window_s: float = 180.0
+    burn_threshold: float = 2.0
+    #: Queue saturation: pending/max_pending at or above this fraction for
+    #: this many consecutive scrapes.
+    queue_saturation_fraction: float = 0.9
+    queue_saturation_samples: int = 3
+    #: A node is heartbeat-stale when silent for more than this multiple of
+    #: the NM heartbeat interval.
+    heartbeat_stale_factor: float = 3.0
+    #: Under-replication: nonzero under-replicated block count for this
+    #: many consecutive scrapes.
+    under_replication_samples: int = 3
+
+    def with_(self, **kwargs) -> "TelemetryConfig":
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
 class HadoopConfig:
     """Timing and sizing knobs of the simulated Hadoop 2.2 stack."""
 
@@ -236,6 +293,11 @@ class HadoopConfig:
     #: ``None`` (the default) disables the serving layer entirely, keeping
     #: every one-shot figure and replay byte-identical to earlier releases.
     serving: Optional[ServingConfig] = None
+
+    # -- continuous telemetry (repro.telemetry) ---------------------------------
+    #: ``None`` (the default) disables the telemetry subsystem; replays and
+    #: figures behave byte-identically to earlier releases.
+    telemetry: Optional[TelemetryConfig] = None
 
     def effective_vcores(self, physical_cores: int) -> int:
         """Schedulable vcores a NodeManager advertises (Fig 12 knob)."""

@@ -253,7 +253,17 @@ class UtilizationSummary:
 
 
 class ClusterMonitor:
-    """Samples a running cluster every ``interval_s`` simulated seconds."""
+    """Samples a running cluster every ``interval_s`` simulated seconds.
+
+    .. deprecated:: PR 8
+        Periodic sampling now lives in :mod:`repro.telemetry`, whose
+        scraper reads the *same* quantities through the shared
+        :func:`repro.telemetry.probes.sample_utilization` probe without
+        scheduling any events. This class remains as a thin shim because
+        the one-shot figures depend on its timeout-driven event stream
+        (snapshot-gated) and its :class:`UtilizationSummary` output; new
+        code should enable ``HadoopConfig.telemetry`` instead.
+    """
 
     def __init__(self, cluster: "SimCluster", interval_s: float = 0.5) -> None:
         if interval_s <= 0:
@@ -282,30 +292,22 @@ class ClusterMonitor:
 
     # -- sampling --------------------------------------------------------------
     def _sample(self) -> None:
-        rm = self.cluster.rm
-        total_cores = sum(n.cpu.cores for n in self.cluster.datanodes)
-        busy = 0.0
-        node_utils = []
-        disk_loads = []
-        for node in self.cluster.datanodes:
-            util = node.cpu.utilization()
-            node_utils.append(util)
-            disk_loads.append(node.disk.active_ops)
-            busy += util * node.cpu.cores
-            self.gauges.record(f"cpu:{node.node_id}", util)
-            self.gauges.record(f"disk_ops:{node.node_id}", node.disk.active_ops)
-        self.gauges.record("cpu:cluster", busy / total_cores if total_cores else 0.0)
-        if node_utils:
-            self.gauges.record("cpu:imbalance", max(node_utils) - min(node_utils))
-            self.gauges.record("disk:imbalance",
-                               float(max(disk_loads) - min(disk_loads)))
+        # Delegates to the probe shared with the telemetry scraper so
+        # exactly one code path computes the imbalance quantities; the
+        # series names (and therefore every figure) are unchanged.
+        from .telemetry.probes import sample_utilization
 
-        total = rm.total_capability()
-        used = rm.total_used()
-        self.gauges.record(
-            "memory:scheduled",
-            used.memory_mb / total.memory_mb if total.memory_mb else 0.0)
-        self.gauges.record("containers:used_vcores", used.vcores)
+        sample = sample_utilization(self.cluster)
+        for node_id, util in sample.node_cpu:
+            self.gauges.record(f"cpu:{node_id}", util)
+        for node_id, ops in sample.node_disk_ops:
+            self.gauges.record(f"disk_ops:{node_id}", ops)
+        self.gauges.record("cpu:cluster", sample.cluster_cpu)
+        if sample.node_cpu:
+            self.gauges.record("cpu:imbalance", sample.cpu_imbalance)
+            self.gauges.record("disk:imbalance", sample.disk_imbalance)
+        self.gauges.record("memory:scheduled", sample.scheduled_memory_fraction)
+        self.gauges.record("containers:used_vcores", sample.used_vcores)
 
     # -- reporting ----------------------------------------------------------------
     def series(self, name: str) -> TimeSeries:

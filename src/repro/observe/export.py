@@ -11,7 +11,10 @@ The produced object follows the Trace Event Format (the JSON flavour both
   tid by construction; a span that cannot nest falls back to a single
   ``X`` complete event);
 * async spans (overlapping fabric flows) as ``b``/``e`` async pairs;
-* instants (fault injections) as ``i`` events;
+* instants (fault injections, telemetry alerts) as ``i`` events;
+* telemetry ring-buffer series (when a :class:`repro.telemetry.Telemetry`
+  is passed) as ``C`` counter events under a ``telemetry`` pseudo-process,
+  so scraped time series render as counter tracks overlaying the spans;
 * timestamps in microseconds of simulated time, globally non-decreasing.
 
 :func:`validate_trace_events` re-checks all of that on an arbitrary parsed
@@ -85,7 +88,32 @@ def _emit_sync_lane(spans: list["Span"], pid: int, tid: int,
     return events
 
 
-def to_trace_events(tracer: "Tracer", trace_name: str = "repro") -> dict:
+def _counter_track_name(ring: Any) -> str:
+    if not ring.labels:
+        return ring.name
+    inner = ",".join(f"{k}={v}" for k, v in ring.labels)
+    return f"{ring.name}[{inner}]"
+
+
+def telemetry_counter_events(telemetry: Any, pid: int) -> tuple[list[dict], list[dict]]:
+    """``M`` + ``C`` events for every retained telemetry series."""
+    meta = [
+        {"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+         "args": {"name": "telemetry"}},
+        {"ph": "M", "name": "process_sort_index", "pid": pid, "tid": 0,
+         "args": {"sort_index": pid}},
+    ]
+    events: list[dict] = []
+    for ring in telemetry.scraper.all_series():
+        name = _counter_track_name(ring)
+        for t, v in zip(ring.times, ring.values):
+            events.append({"ph": "C", "name": name, "pid": pid, "tid": 0,
+                           "ts": _us(t), "args": {"value": round(v, 6)}})
+    return meta, events
+
+
+def to_trace_events(tracer: "Tracer", trace_name: str = "repro",
+                    telemetry: Any = None) -> dict:
     """Render ``tracer``'s records as a trace-event JSON object (a dict)."""
     spans = tracer.closed_spans() + [s for s in tracer.spans if s.end is None]
     nodes = ({s.node for s in tracer.spans}
@@ -145,6 +173,12 @@ def to_trace_events(tracer: "Tracer", trace_name: str = "repro") -> dict:
         if mark.args:
             ev["args"] = dict(mark.args)
         timed.append(ev)
+
+    if telemetry is not None:
+        counter_meta, counter_events = telemetry_counter_events(
+            telemetry, len(pids) + 1)
+        meta.extend(counter_meta)
+        timed.extend(counter_events)
 
     # Stable sort by ts: per-lane event order (already time-correct) is
     # preserved for ties, so B/E pairs never flip.

@@ -122,6 +122,23 @@ class BucketQueue:
             cancelled.discard(entry[2])
         return None
 
+    def stats(self) -> dict[str, int]:
+        """Occupancy snapshot for the telemetry/bench kernel gauges.
+
+        ``pending`` counts live + cancelled-but-unpopped entries (what the
+        queue physically holds); ``occupied_buckets``/``max_bucket_depth``
+        describe how they spread across the calendar — a ballooning depth
+        means the bucket width no longer matches the workload's timer
+        horizon; ``cancelled_outstanding`` is the lazy-tombstone backlog.
+        """
+        return {
+            "pending": self._len,
+            "occupied_buckets": len(self._buckets),
+            "max_bucket_depth": max(
+                (len(b) for b in self._buckets.values()), default=0),
+            "cancelled_outstanding": len(self._cancelled),
+        }
+
     def cancel(self, eid: int) -> None:
         """Retire the entry with ``eid`` (skipped lazily at pop time).
 

@@ -37,6 +37,19 @@ class Environment:
         #: instrumentation site in the stack guards on ``is not None``, so
         #: the default costs one attribute read per site and nothing else.
         self.tracer: Optional[Any] = None
+        #: Telemetry facade (:class:`repro.telemetry.Telemetry`) or ``None``.
+        #: Same zero-overhead-when-disabled discipline as ``tracer``: push
+        #: sites guard on ``is not None``, and the scraper samples from the
+        #: :attr:`sampler` hook so enabling it adds no events to the queue.
+        self.telemetry: Optional[Any] = None
+        #: Telemetry scraper fast path. :meth:`step` compares each popped
+        #: event's time against :attr:`sample_next` inline — one attribute
+        #: read and one float compare — and calls ``sampler(when)`` only
+        #: when a scrape grid point is due. Kept separate from
+        #: :attr:`tracers` because routing the scraper through that list
+        #: would pay a function call on *every* event just to return.
+        self.sampler: Optional[Callable[[float], None]] = None
+        self.sample_next = float("inf")
 
     # -- clock ------------------------------------------------------------
     @property
@@ -90,6 +103,10 @@ class Environment:
         when = self._queue.peek_time()
         return when if when is not None else float("inf")
 
+    def queue_stats(self) -> dict[str, int]:
+        """Occupancy snapshot of the calendar queue (telemetry/bench)."""
+        return self._queue.stats()
+
     def step(self) -> None:
         """Process the single next event.
 
@@ -104,6 +121,8 @@ class Environment:
 
         self._now = when
         self.events_processed += 1
+        if when >= self.sample_next:
+            self.sampler(when)
         if self.tracers:
             for tracer in self.tracers:
                 tracer(when, event)

@@ -1,0 +1,62 @@
+"""Cluster-state probes shared by the scraper and ClusterMonitor.
+
+Exactly one place computes per-node CPU/disk utilization and the paper's
+imbalance indices. :class:`repro.metrics.ClusterMonitor` (the historical
+figure-facing sampler) and the telemetry scraper both call
+:func:`sample_utilization`, so the two mechanisms cannot drift — the
+monitor keeps its process-loop driver (figure snapshots depend on its
+timeout events) while telemetry reads the same numbers from the kernel's
+pop hook without scheduling anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simcluster import SimCluster
+
+
+@dataclass
+class UtilizationSample:
+    """One instant of cluster utilization (the ClusterMonitor quantities)."""
+
+    #: (node_id, cpu utilization 0..1) per DataNode, in cluster order.
+    node_cpu: list[tuple[str, float]]
+    #: (node_id, active disk ops) per DataNode, in cluster order.
+    node_disk_ops: list[tuple[str, float]]
+    cluster_cpu: float
+    cpu_imbalance: float
+    disk_imbalance: float
+    scheduled_memory_fraction: float
+    used_vcores: float
+
+
+def sample_utilization(cluster: "SimCluster") -> UtilizationSample:
+    """Read the monitor quantities from a cluster, mutating nothing."""
+    rm = cluster.rm
+    total_cores = sum(n.cpu.cores for n in cluster.datanodes)
+    busy = 0.0
+    node_cpu: list[tuple[str, float]] = []
+    node_disk_ops: list[tuple[str, float]] = []
+    for node in cluster.datanodes:
+        util = node.cpu.utilization()
+        node_cpu.append((node.node_id, util))
+        node_disk_ops.append((node.node_id, float(node.disk.active_ops)))
+        busy += util * node.cpu.cores
+
+    utils = [u for _, u in node_cpu]
+    disks = [d for _, d in node_disk_ops]
+    total = rm.total_capability()
+    used = rm.total_used()
+    return UtilizationSample(
+        node_cpu=node_cpu,
+        node_disk_ops=node_disk_ops,
+        cluster_cpu=busy / total_cores if total_cores else 0.0,
+        cpu_imbalance=max(utils) - min(utils) if utils else 0.0,
+        disk_imbalance=float(max(disks) - min(disks)) if disks else 0.0,
+        scheduled_memory_fraction=(used.memory_mb / total.memory_mb
+                                   if total.memory_mb else 0.0),
+        used_vcores=float(used.vcores),
+    )

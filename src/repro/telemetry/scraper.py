@@ -1,0 +1,186 @@
+"""Sim-time scraper: samples the registry into bounded ring buffers.
+
+The obvious implementation — a simulation process that wakes every
+``scrape_interval_s`` — would *add events to the kernel queue*, shifting
+event ids and breaking the guarantee that enabling telemetry leaves runs
+byte-identical. Instead the scraper piggybacks on the kernel's
+kernel's pop path: as each event is popped at time ``when``, any
+scrape grid points ``anchor + k*interval`` in ``(last, when]`` are sampled
+and attributed to their *grid* timestamp. The hook runs before the event's
+callbacks, so the registry state it reads is exactly the simulation's
+step-function value at every grid point since the previous event — no
+event is ever scheduled, so the event sequence (and therefore every
+digest and snapshot) is provably identical with telemetry on or off.
+
+The hook itself is the kernel's dedicated ``env.sampler`` slot rather than
+the generic ``env.tracers`` list: ``step()`` compares the popped time
+against ``env.sample_next`` inline, so between grid points an enabled
+scraper costs one float compare per event — no function call at all.
+
+Grid timestamps are computed multiplicatively (``anchor + k * interval``,
+never ``+= interval``) so thousand-scrape runs do not accrue float error —
+the same lesson the heartbeat wheel learned in PR 7.
+
+Idle gaps are bounded: if the kernel sleeps across more than
+``catchup_limit`` grid points, only the most recent ones are sampled and
+the rest are counted in :attr:`Scraper.samples_skipped` (the step-function
+values in a gap are all equal anyway; only counters pulled mid-gap would
+have been interesting, and nothing changes them while no events run).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from .instruments import TelemetryRegistry
+
+
+class RingSeries:
+    """One bounded time series: parallel (time, value) rings."""
+
+    __slots__ = ("name", "labels", "times", "values")
+
+    def __init__(self, name: str, labels, maxlen: int) -> None:
+        self.name = name
+        self.labels = labels
+        self.times: deque[float] = deque(maxlen=maxlen)
+        self.values: deque[float] = deque(maxlen=maxlen)
+
+    def append(self, t: float, value: float) -> None:
+        self.times.append(t)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def last(self) -> Optional[float]:
+        return self.values[-1] if self.values else None
+
+    def window(self, start_s: float) -> list[tuple[float, float]]:
+        """Samples with ``t >= start_s`` (oldest first)."""
+        return [(t, v) for t, v in zip(self.times, self.values) if t >= start_s]
+
+    def value_at_or_before(self, t: float) -> Optional[float]:
+        """Latest sample value with timestamp <= ``t`` (None if none)."""
+        result = None
+        for ts, v in zip(self.times, self.values):
+            if ts > t:
+                break
+            result = v
+        return result
+
+    def to_dict(self, digits: int = 6) -> dict:
+        return {"t": [round(t, digits) for t in self.times],
+                "v": [round(v, digits) for v in self.values]}
+
+
+class Scraper:
+    """Samples every registry instrument at the scrape grid points."""
+
+    def __init__(self, env, registry: TelemetryRegistry, *,
+                 interval_s: float, retention: int,
+                 catchup_limit: int = 8) -> None:
+        if interval_s <= 0:
+            raise ValueError("scrape interval must be positive")
+        if retention < 1:
+            raise ValueError("retention must be at least one sample")
+        self.env = env
+        self.registry = registry
+        self.interval_s = float(interval_s)
+        self.retention = retention
+        self.catchup_limit = max(1, catchup_limit)
+        self._anchor = env.now
+        self._k = 1  # next grid index: anchor + k * interval
+        # Cached next-due timestamp, mirrored into ``env.sample_next`` so
+        # the kernel's inline compare needs no arithmetic.
+        self._next_t = self._anchor + self.interval_s
+        self.scrapes_done = 0
+        self.samples_skipped = 0
+        self._series: dict[tuple, RingSeries] = {}
+        #: Called with the grid timestamp after each scrape (alert engine).
+        self.on_scrape: list[Callable[[float], None]] = []
+        self._installed = False
+
+    # -- installation -------------------------------------------------------
+    def install(self) -> None:
+        """Attach the kernel sampler slot. Idempotent."""
+        if self._installed:
+            return
+        if self.env.sampler is not None:
+            raise RuntimeError("another sampler is already installed on "
+                               "this environment")
+        self.env.sampler = self._on_due
+        self.env.sample_next = self._next_t
+        self._installed = True
+
+    def uninstall(self) -> None:
+        if self._installed:
+            if self.env.sampler is self._on_due:
+                self.env.sampler = None
+                self.env.sample_next = float("inf")
+            self._installed = False
+
+    # -- sampling -----------------------------------------------------------
+    def _next_due(self) -> float:
+        return self._anchor + self._k * self.interval_s
+
+    def _on_due(self, when: float) -> None:
+        """Kernel calls this only once ``when`` crosses the next grid point."""
+        due = self._next_due()
+        emitted = 0
+        while due <= when and emitted < self.catchup_limit:
+            self.sample(due)
+            self._k += 1
+            emitted += 1
+            due = self._next_due()
+        if due <= when:
+            # Idle gap longer than the catch-up budget: skip forward so the
+            # next samples stay on the grid.
+            skipped = int((when - due) // self.interval_s) + 1
+            self.samples_skipped += skipped
+            self._k += skipped
+            due = self._next_due()
+        self._next_t = due
+        if self._installed:
+            self.env.sample_next = due
+
+    def sample(self, t: float) -> None:
+        """Read every instrument once, stamping samples with ``t``."""
+        series = self._series
+        for instrument in self.registry:
+            key = (instrument.name, instrument.labels)
+            ring = series.get(key)
+            if ring is None:
+                ring = RingSeries(instrument.name, instrument.labels,
+                                  self.retention)
+                series[key] = ring
+            ring.append(t, instrument.value)
+        self.scrapes_done += 1
+        for hook in self.on_scrape:
+            hook(t)
+
+    def final_scrape(self) -> None:
+        """One closing sample at the current sim time (end of run)."""
+        now = self.env.now
+        for ring in self._series.values():
+            if ring.times and ring.times[-1] >= now:
+                return
+        self.sample(now)
+
+    # -- access -------------------------------------------------------------
+    def series(self, name: str, labels=()) -> Optional[RingSeries]:
+        if isinstance(labels, dict):
+            labels = tuple(sorted(labels.items()))
+        return self._series.get((name, labels))
+
+    def all_series(self) -> list[RingSeries]:
+        """Every ring, in first-sample (registration) order."""
+        return list(self._series.values())
+
+    def retained_samples(self) -> int:
+        return sum(len(ring) for ring in self._series.values())
+
+    def ring_bytes_estimate(self) -> int:
+        """Rough retention footprint: two floats + deque overhead each."""
+        return self.retained_samples() * 2 * 8 + len(self._series) * 256

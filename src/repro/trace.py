@@ -397,6 +397,10 @@ class LoadReport:
     #: empty — and absent from :meth:`to_dict` — unless the replay ran with
     #: ``HadoopConfig.serving`` set.
     slo: dict = field(default_factory=dict)
+    #: Telemetry section (scrape stats, fired alerts, per-window series);
+    #: empty — and absent from :meth:`to_dict` — unless the replay ran with
+    #: ``HadoopConfig.telemetry`` set.
+    telemetry: dict = field(default_factory=dict)
 
     def to_dict(self, digits: int = 6) -> dict:
         """JSON-stable dict (used by the CLI and the determinism checks)."""
@@ -418,6 +422,8 @@ class LoadReport:
         }
         if self.slo:
             out["slo"] = self.slo
+        if self.telemetry:
+            out["telemetry"] = self.telemetry
         if self.per_job:
             out["jobs"] = self.per_job
         return out
@@ -434,6 +440,9 @@ class LoadReport:
                      f" ({att.get('hits', 0)}/{att.get('total', 0)})"
                      f", rejected {self.slo.get('rejected', 0)}"
                      f" shed {self.slo.get('shed', 0)}")
+        if self.telemetry:
+            line += (f", telemetry {self.telemetry.get('scrapes', 0)} scrapes"
+                     f"/{self.telemetry.get('alerts_fired', 0)} alerts")
         return line
 
 
@@ -475,6 +484,12 @@ def replay_load(cluster: "SimCluster", trace: Sequence[TraceJob],
     client = JobClient(cluster) if strategy == STRATEGY_STOCK else None
     serving = cluster.conf.serving
     runtime = ServingRuntime(cluster, serving) if serving is not None else None
+    telemetry = None
+    if cluster.conf.telemetry is not None:
+        from .telemetry import install_telemetry
+        telemetry = install_telemetry(cluster, cluster.conf.telemetry)
+        if runtime is not None:
+            telemetry.attach_serving(runtime)
     report = LoadReport(strategy=strategy, jobs_submitted=len(trace))
     if not trace:
         return report
@@ -639,6 +654,9 @@ def replay_load(cluster: "SimCluster", trace: Sequence[TraceJob],
     if runtime is not None:
         runtime.finish(report.makespan_s)
         report.slo = runtime.summary()
+    if telemetry is not None:
+        telemetry.finish()
+        report.telemetry = telemetry.report_section()
     return report
 
 

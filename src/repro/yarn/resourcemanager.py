@@ -347,6 +347,9 @@ class ResourceManager:
             tracer.complete("am-alloc-wait", "alloc", CLUSTER,
                             f"am-{app.app_id}", app.submit_time,
                             placed_on=app.am_container.node_id)
+        if self.env.telemetry is not None:
+            self.env.telemetry.am_alloc_wait.observe(
+                self.env.now - app.submit_time)
         proc = nm.launch(app.am_container, am_body(), name=f"am-{app.app_id}",
                          launch_delay=launch_delay)
         self._am_processes[app.app_id] = proc

@@ -95,6 +95,10 @@ class SchedulerBase:
             tracer.metrics.incr("scheduler:grants")
             tracer.metrics.observe("scheduler:grant_queue_delay_s",
                                    self.rm.env.now - pending.enqueued_at)
+        telemetry = self.rm.env.telemetry
+        if telemetry is not None:
+            telemetry.grant_delay.observe(
+                self.rm.env.now - pending.enqueued_at)
         return container
 
 

@@ -1,0 +1,462 @@
+"""Telemetry subsystem: instruments, scraper, OpenMetrics, alert rules."""
+
+import json
+import math
+from bisect import bisect_left
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import (HadoopConfig, ServingConfig, TelemetryConfig,
+                          a3_cluster)
+from repro.metrics import exact_percentile
+from repro.simulation import Environment
+from repro.telemetry import (AlertEngine, BurnRateRule, QueueSaturationRule,
+                             Scraper, TelemetryRegistry, parse_openmetrics,
+                             render_jsonl, render_openmetrics)
+from repro.telemetry.instruments import DEFAULT_BUCKETS, Histogram
+from repro.trace import (build_trace_cluster, default_serving_mix,
+                         poisson_trace, replay_load, run_load)
+
+
+# -- instruments ---------------------------------------------------------------
+
+def test_counter_rejects_decrease():
+    reg = TelemetryRegistry()
+    c = reg.counter("jobs", "completed jobs")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_pull_instruments_read_at_access_time():
+    reg = TelemetryRegistry()
+    state = {"n": 0}
+    c = reg.counter("events", "events", fn=lambda: state["n"])
+    g = reg.gauge("depth", "queue depth", fn=lambda: state["n"] * 2)
+    state["n"] = 7
+    assert c.value == 7
+    assert g.value == 14
+
+
+def test_registry_rejects_duplicates_and_kind_conflicts():
+    reg = TelemetryRegistry()
+    reg.counter("x", "first")
+    with pytest.raises(ValueError):
+        reg.counter("x", "again")
+    with pytest.raises(ValueError):
+        reg.gauge("x", "as gauge")
+    # Same name with different labels is a new series, not a duplicate.
+    reg.counter("x", "labeled", labels={"rack": "r1"})
+
+
+def test_histogram_bounds_must_increase():
+    with pytest.raises(ValueError):
+        Histogram("h", "bad", bounds=(1.0, 1.0, 2.0))
+    with pytest.raises(ValueError):
+        Histogram("h", "bad", bounds=(2.0, 1.0))
+    with pytest.raises(ValueError):
+        Histogram("h", "empty", bounds=())
+
+
+def test_histogram_cumulative_rows_end_with_inf():
+    h = Histogram("h", "x", bounds=(1.0, 10.0))
+    for v in (0.5, 0.7, 5.0, 99.0):
+        h.observe(v)
+    rows = h.cumulative()
+    assert rows == [(1.0, 2), (10.0, 3), (math.inf, 4)]
+    assert h.count == 4
+    assert h.sum == pytest.approx(105.2)
+
+
+def test_histogram_quantile_within_one_bucket_of_exact():
+    """Differential bound: bucket interpolation errs by <= one bucket width."""
+    import random
+
+    rng = random.Random(42)
+    values = [rng.uniform(0.001, 250.0) for _ in range(500)]
+    h = Histogram("lat", "latency", bounds=DEFAULT_BUCKETS)
+    for v in values:
+        h.observe(v)
+    for q in (10.0, 50.0, 90.0, 99.0):
+        exact = exact_percentile(values, q)
+        est = h.quantile(q)
+        i = bisect_left(DEFAULT_BUCKETS, exact)
+        lo = DEFAULT_BUCKETS[i - 1] if i > 0 else min(values)
+        hi = DEFAULT_BUCKETS[i] if i < len(DEFAULT_BUCKETS) else max(values)
+        assert abs(est - exact) <= (hi - lo) + 1e-9, (
+            f"p{q}: estimate {est} vs exact {exact}, bucket ({lo}, {hi}]")
+
+
+def test_histogram_quantile_clamped_to_observed_range():
+    h = Histogram("h", "x", bounds=(10.0, 100.0))
+    h.observe(40.0)
+    h.observe(60.0)
+    assert h.quantile(0.0) >= 40.0
+    assert h.quantile(100.0) <= 60.0
+
+
+# -- scraper -------------------------------------------------------------------
+
+def _ticking_env(total_s: float, step_s: float = 0.3):
+    env = Environment()
+
+    def proc(env):
+        while env.now < total_s:
+            yield env.timeout(step_s)
+
+    env.process(proc(env))
+    return env
+
+
+def test_scraper_samples_on_simulated_grid():
+    env = _ticking_env(10.0)
+    reg = TelemetryRegistry()
+    reg.counter("events", "kernel events", fn=lambda: env.events_processed)
+    scraper = Scraper(env, reg, interval_s=1.0, retention=64)
+    scraper.install()
+    env.run()
+    ring = scraper.series("events")
+    # Timestamps sit exactly on the multiplicative grid k * interval.
+    for t in ring.times:
+        assert t == pytest.approx(round(t))
+    values = list(ring.values)
+    assert values == sorted(values), "pull counter must be monotonic"
+    assert scraper.scrapes_done == len(ring)
+
+
+def test_scraper_skips_forward_across_idle_gaps():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(0.5)
+        yield env.timeout(100.0)  # idle gap >> catchup budget
+        yield env.timeout(0.5)
+
+    env.process(proc(env))
+    reg = TelemetryRegistry()
+    reg.counter("events", "x", fn=lambda: env.events_processed)
+    scraper = Scraper(env, reg, interval_s=1.0, retention=256,
+                      catchup_limit=4)
+    scraper.install()
+    env.run()
+    assert scraper.samples_skipped > 0
+    ring = scraper.series("events")
+    for t in ring.times:  # grid alignment survives the skip
+        assert t == pytest.approx(round(t))
+
+
+def test_ring_retention_is_bounded():
+    env = _ticking_env(100.0, step_s=0.1)
+    reg = TelemetryRegistry()
+    reg.counter("events", "x", fn=lambda: env.events_processed)
+    scraper = Scraper(env, reg, interval_s=0.5, retention=16)
+    scraper.install()
+    env.run()
+    ring = scraper.series("events")
+    assert len(ring) == 16
+    assert scraper.scrapes_done > 16
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.floats(min_value=0.01, max_value=40.0,
+                          allow_nan=False, allow_infinity=False),
+                min_size=1, max_size=24))
+def test_scraping_never_perturbs_event_order(delays):
+    """The scraper piggybacks on pops: zero events added, order unchanged."""
+
+    def run(with_scraper: bool):
+        env = Environment()
+        order = []
+        env.tracers.append(
+            lambda when, ev: order.append((type(ev).__name__, when)))
+        if with_scraper:
+            reg = TelemetryRegistry()
+            reg.counter("events", "x", fn=lambda: env.events_processed)
+            Scraper(env, reg, interval_s=0.7, retention=32).install()
+
+        def proc(env, ds):
+            for d in ds:
+                yield env.timeout(d)
+
+        for lane in range(3):
+            env.process(proc(env, delays[lane::3]))
+        env.run()
+        return order, env.events_processed
+
+    assert run(False) == run(True)
+
+
+# -- OpenMetrics ---------------------------------------------------------------
+
+def _sample_registry() -> TelemetryRegistry:
+    reg = TelemetryRegistry()
+    c = reg.counter("jobs", "Jobs completed.", labels={"rack": "r1"})
+    c.inc(5)
+    c2 = reg.counter("jobs", "Jobs completed.", labels={"rack": "r2"})
+    c2.inc(3)
+    g = reg.gauge("queue_depth", "Pending entries.")
+    g.set(7)
+    h = reg.histogram("wait", "Queue wait.", unit="seconds",
+                      bounds=(0.1, 1.0, 10.0))
+    for v in (0.05, 0.5, 0.5, 30.0):
+        h.observe(v)
+    return reg
+
+
+def test_openmetrics_round_trip():
+    text = render_openmetrics(_sample_registry())
+    assert text.endswith("# EOF\n")
+    families = parse_openmetrics(text)
+    assert families["jobs"].kind == "counter"
+    jobs = families["jobs"].samples
+    assert ("jobs_total", {"rack": "r1"}, 5.0) in jobs
+    assert ("jobs_total", {"rack": "r2"}, 3.0) in jobs
+    assert families["queue_depth"].samples[0][2] == 7.0
+    wait = families["wait"]
+    assert wait.unit == "seconds"
+    buckets = [s for s in wait.samples if s[0] == "wait_bucket"]
+    # Cumulative counts: 1 under 0.1, 3 under 1.0, 3 under 10.0, 4 at +Inf.
+    assert [s[2] for s in buckets] == [1.0, 3.0, 3.0, 4.0]
+    assert [s[1]["le"] for s in buckets] == ["0.1", "1", "10", "+Inf"]
+    count = [s for s in wait.samples if s[0] == "wait_count"][0]
+    assert count[2] == 4.0
+
+
+def test_openmetrics_label_escaping_round_trips():
+    reg = TelemetryRegistry()
+    nasty = 'back\\slash "quote"\nnewline'
+    c = reg.counter("weird", "Help with a \\ backslash.",
+                    labels={"k": nasty})
+    c.inc()
+    text = render_openmetrics(reg)
+    assert "\\\\" in text and '\\"' in text and "\\n" in text
+    families = parse_openmetrics(text)
+    sample = families["weird"].samples[0]
+    assert sample[1] == {"k": nasty}
+    assert sample[2] == 1.0
+    assert families["weird"].help == "Help with a \\ backslash."
+
+
+def test_openmetrics_parser_is_strict():
+    with pytest.raises(ValueError):
+        parse_openmetrics("# TYPE x counter\nx_total 1\n")  # no EOF
+    with pytest.raises(ValueError):
+        parse_openmetrics("# EOF\ntrailing 1\n")  # content after EOF
+    with pytest.raises(ValueError):
+        parse_openmetrics("orphan 1\n# EOF\n")  # sample before TYPE
+
+
+def test_jsonl_export_one_object_per_sample():
+    env = _ticking_env(5.0)
+    reg = TelemetryRegistry()
+    reg.counter("events", "x", fn=lambda: env.events_processed)
+    scraper = Scraper(env, reg, interval_s=1.0, retention=64)
+    scraper.install()
+    env.run()
+
+    lines = render_jsonl(scraper).strip().splitlines()
+    assert len(lines) == scraper.retained_samples()
+    for line in lines:
+        obj = json.loads(line)
+        assert set(obj) == {"metric", "labels", "t", "value"}
+
+
+# -- burn-rate alerting --------------------------------------------------------
+
+def _burn_fixture():
+    """Scraper fed by hand so window deltas are exactly computable."""
+    env = Environment()
+    reg = TelemetryRegistry()
+    met = reg.counter("serving_deadline_met", "met")
+    missed = reg.counter("serving_deadline_missed", "missed")
+    scraper = Scraper(env, reg, interval_s=10.0, retention=128)
+    return env, met, missed, scraper
+
+
+def test_burn_rate_hand_computed_windows():
+    _env, met, missed, scraper = _burn_fixture()
+    # slo_target 0.9 -> budget 0.1; burn = (missed/total) / 0.1
+    rule = BurnRateRule(0.9, fast_window_s=30.0, slow_window_s=90.0,
+                        threshold=2.0)
+    scraper.sample(10.0)            # met 0, missed 0
+    met.inc(8)
+    missed.inc(2)
+    scraper.sample(20.0)            # +8 met, +2 missed
+    # Window [-10, 20] clips to run start with a zero baseline:
+    # error fraction 2/10 = 0.2 -> burn 2.0.
+    assert rule.burn_rate(20.0, scraper, 30.0) == pytest.approx(2.0)
+    met.inc(10)
+    scraper.sample(30.0)            # +10 met, +0 missed
+    # Fast window [0, 30]: missed 2 of 20 -> burn 1.0.
+    assert rule.burn_rate(30.0, scraper, 30.0) == pytest.approx(1.0)
+    # Slow window [-60, 30] -> same totals (zero baseline): burn 1.0.
+    assert rule.burn_rate(30.0, scraper, 90.0) == pytest.approx(1.0)
+    met.inc(1)
+    missed.inc(9)
+    scraper.sample(40.0)            # +1 met, +9 missed
+    # Fast [10, 40]: met 19-0=19... baseline at t<=10 is the sample at 10
+    # (met 0, missed 0): delta met 19, missed 11 -> 11/30 -> burn ~3.67.
+    assert rule.burn_rate(40.0, scraper, 30.0) == pytest.approx(
+        (11 / 30) / 0.1)
+    firing, value, _msg = rule.check(40.0, scraper)
+    slow = rule.burn_rate(40.0, scraper, 90.0)
+    assert firing == (slow >= 2.0)  # both windows must agree
+    assert value == pytest.approx(min((11 / 30) / 0.1, slow))
+
+
+def test_burn_rate_requires_both_windows():
+    _env, met, missed, scraper = _burn_fixture()
+    rule = BurnRateRule(0.9, fast_window_s=10.0, slow_window_s=1000.0,
+                        threshold=2.0)
+    met.inc(90)
+    scraper.sample(10.0)
+    missed.inc(10)
+    scraper.sample(20.0)
+    # Fast window burns hot (10/10 errors), slow window is diluted by the
+    # 90 early successes (10/100 = budget rate exactly, burn 1.0).
+    assert rule.burn_rate(20.0, scraper, 10.0) == pytest.approx(10.0)
+    assert rule.burn_rate(20.0, scraper, 1000.0) == pytest.approx(1.0)
+    firing, _value, _msg = rule.check(20.0, scraper)
+    assert not firing
+
+
+def test_alert_engine_edge_triggers_and_resolves():
+    env, met, missed, scraper = _burn_fixture()
+    rule = BurnRateRule(0.9, fast_window_s=20.0, slow_window_s=20.0,
+                        threshold=2.0)
+    engine = AlertEngine(env, scraper, [rule])
+    met.inc(10)
+    scraper.sample(10.0)            # healthy
+    missed.inc(10)
+    scraper.sample(20.0)            # burning
+    scraper.sample(30.0)            # still burning -> same alert row
+    met.inc(50)
+    scraper.sample(40.0)            # recovered -> resolve
+    assert len(engine.alerts) == 1
+    alert = engine.alerts[0]
+    assert alert.rule == "slo_burn_rate"
+    assert alert.at_s == 20.0
+    assert alert.resolved_at_s == 40.0
+
+
+def test_queue_saturation_requires_consecutive_scrapes():
+    env = Environment()
+    reg = TelemetryRegistry()
+    depth = reg.gauge("serving_pending_jobs", "pending")
+    scraper = Scraper(env, reg, interval_s=1.0, retention=32)
+    rule = QueueSaturationRule(max_pending=10, fraction=0.9, samples=3)
+    engine = AlertEngine(env, scraper, [rule])
+    for t, v in ((1.0, 9), (2.0, 10), (3.0, 5), (4.0, 9), (5.0, 10),
+                 (6.0, 10)):
+        depth.set(v)
+        scraper.sample(t)
+    # Dips at t=3 reset the streak; only 4..6 sustains three scrapes.
+    assert [a.at_s for a in engine.alerts] == [6.0]
+
+
+# -- integration: replay, report, export ---------------------------------------
+
+def _serving_conf(telemetry=None, **kwargs) -> HadoopConfig:
+    serving = ServingConfig(latency_deadline_s=75.0, slots_per_node=2,
+                            initial_guess_s=12.0, **kwargs)
+    return HadoopConfig(am_resource_fraction=0.3, serving=serving,
+                        telemetry=telemetry)
+
+
+def test_replay_with_telemetry_keeps_event_order_and_reports():
+    def run(telemetry):
+        conf = _serving_conf(telemetry=telemetry)
+        cluster = build_trace_cluster(a3_cluster(3), conf=conf, seed=7)
+        order = []
+        cluster.env.tracers.append(
+            lambda when, ev: order.append((type(ev).__name__, when)))
+        trace = poisson_trace(default_serving_mix(), 15.0, 60.0, seed=13)
+        report = replay_load(cluster, trace)
+        return order, report, cluster
+
+    plain_order, plain_report, _ = run(None)
+    tel_order, tel_report, cluster = run(TelemetryConfig())
+    assert plain_order == tel_order
+    assert not plain_report.telemetry
+    assert "telemetry" not in plain_report.to_dict()
+    section = tel_report.telemetry
+    assert section["scrapes"] > 0
+    assert section["series"] > 30
+    assert "alerts_fired" in section
+    assert "serving_pending_jobs" in section["windows"]
+    # Every counter ring is monotonic across scrapes.
+    telemetry = cluster.env.telemetry
+    for instrument in telemetry.registry:
+        if instrument.kind != "counter":
+            continue
+        ring = telemetry.series(instrument.name, dict(instrument.labels))
+        values = list(ring.values)
+        assert values == sorted(values), instrument.name
+    # The OpenMetrics export of the finished run parses cleanly.
+    families = parse_openmetrics(telemetry.openmetrics())
+    assert len(families) > 20
+
+
+def test_burn_rate_fires_before_attainment_loss_static_overload():
+    """Figure S1 static arm: the alert is a leading indicator.
+
+    Under static provisioning at an overload rate the burn-rate alert
+    must fire while cumulative attainment is still >= the SLO target —
+    i.e. strictly before the run's attainment is lost. Regression-gated:
+    if alerting lags the failure it is useless for paging.
+    """
+    conf = _serving_conf(telemetry=TelemetryConfig(),
+                         admission=False, degradation=False)
+    cluster = build_trace_cluster(a3_cluster(4), conf=conf, seed=5)
+    trace = poisson_trace(default_serving_mix(), 30.0, 300.0, seed=5)
+    report = replay_load(cluster, trace)
+    telemetry = cluster.env.telemetry
+
+    att = report.slo["attainment"]["fraction"]
+    assert att < 0.9, f"scenario must overload the static arm, got {att:.3f}"
+    alert = telemetry.engine.first("slo_burn_rate")
+    assert alert is not None, "burn-rate alert never fired under overload"
+    ring = telemetry.series("serving_attainment_cumulative")
+    lost_at = None
+    for t, v in zip(ring.times, ring.values):
+        if v < telemetry.config.slo_target:
+            lost_at = t
+            break
+    assert lost_at is not None, "cumulative attainment never dropped"
+    assert alert.at_s < lost_at, (
+        f"burn-rate alert at {alert.at_s:.0f}s did not lead attainment "
+        f"loss at {lost_at:.0f}s")
+
+
+def test_trace_export_merges_counter_tracks():
+    from repro.observe.export import to_trace_events, validate_trace_events
+    from repro.observe.tracer import install_tracer
+
+    conf = _serving_conf(telemetry=TelemetryConfig())
+    cluster = build_trace_cluster(a3_cluster(3), conf=conf, seed=7)
+    tracer = install_tracer(cluster)
+    trace = poisson_trace(default_serving_mix(), 15.0, 45.0, seed=13)
+    replay_load(cluster, trace)
+    telemetry = cluster.env.telemetry
+
+    obj = to_trace_events(tracer, trace_name="t", telemetry=telemetry)
+    assert validate_trace_events(obj) == []
+    counters = [e for e in obj["traceEvents"] if e["ph"] == "C"]
+    assert counters, "no counter track events emitted"
+    pids = {e["pid"] for e in counters}
+    assert len(pids) == 1
+    names = {e["args"]["name"] for e in obj["traceEvents"]
+             if e["ph"] == "M" and e["name"] == "process_name"}
+    assert "telemetry" in names
+
+
+def test_run_load_records_scheduler_histograms():
+    conf = _serving_conf(telemetry=TelemetryConfig())
+    report = run_load(a3_cluster(3), default_serving_mix(), 15.0, 60.0,
+                      conf=conf, seed=7)
+    assert report.telemetry["scrapes"] > 0
+    assert ", telemetry" in report.summary()
