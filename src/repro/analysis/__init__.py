@@ -2,7 +2,7 @@
 
 ``repro.analysis`` is an AST-based checker framework that enforces the
 invariants the simulator's correctness rests on but no off-the-shelf
-linter can see:
+linter can see. The MR1xx family checks one file at a time:
 
 * **MR101 kernel-protocol** — simulation processes must yield real
   :class:`~repro.simulation.events.Event` objects, and kernel callbacks
@@ -19,6 +19,19 @@ linter can see:
   that survive between :class:`~repro.simulation.core.Environment`
   instances.
 
+The MR2xx family is **whole-program**: a project-wide symbol table and
+call graph (:mod:`repro.analysis.callgraph`) plus a forward taint engine
+(:mod:`repro.analysis.dataflow`) close the single-function blind spots:
+
+* **MR201 interproc-determinism** — hash-ordered collections and
+  process-dependent scalars flowing through helper calls into
+  scheduling decisions.
+* **MR202 kernel-escape** — non-event yields and callback re-entry
+  hidden behind helper functions.
+* **MR203 resource-typestate** — acquire/release pairs (tracer spans,
+  fabric flows, wheel memberships, the kernel sampler slot, container
+  grants) leaked on early-return or error paths.
+
 Run it as ``python -m repro.analysis [paths...]`` or ``repro lint``.
 Findings are reported as ``file:line:col CODE message``; a checked-in
 baseline (``lint_baseline.json``) keeps existing, deliberately accepted
@@ -28,7 +41,10 @@ debt from failing CI while any *new* violation does.
 determinism sanitizer: the same small scenario runs twice in subprocesses
 under different ``PYTHONHASHSEED`` values and the event-order/metrics
 digests are diffed, turning order-dependent iteration into a reproducible
-failure. See ``docs/static_analysis.md`` for the rule catalog.
+failure. ``repro lint --sanitize-races`` permutes kernel dispatch order
+among events sharing a (timestamp, priority) class and requires all
+observable metrics to be tie-order independent. See
+``docs/static_analysis.md`` for the rule catalog.
 """
 
 from __future__ import annotations
@@ -36,14 +52,25 @@ from __future__ import annotations
 # The rule modules register themselves on import.
 from . import (  # noqa: F401
     rules_determinism,
+    rules_escape,
     rules_kernel,
     rules_state,
+    rules_taint,
     rules_time,
     rules_tracer,
+    rules_typestate,
 )
 from .baseline import Baseline
+from .callgraph import Project, build_project
 from .findings import Finding
-from .registry import ModuleSource, Rule, all_rules, rule_catalog
+from .registry import (
+    ModuleSource,
+    ProjectRule,
+    Rule,
+    all_project_rules,
+    all_rules,
+    rule_catalog,
+)
 from .runner import AnalysisResult, analyze_paths, main
 
 __all__ = [
@@ -51,9 +78,13 @@ __all__ = [
     "Baseline",
     "Finding",
     "ModuleSource",
+    "Project",
+    "ProjectRule",
     "Rule",
+    "all_project_rules",
     "all_rules",
     "analyze_paths",
+    "build_project",
     "main",
     "rule_catalog",
 ]

@@ -108,29 +108,77 @@ class Rule:
         )
 
 
+class ProjectRule:
+    """A whole-program check run once over the :class:`Project`.
+
+    Unlike :class:`Rule`, which sees one file at a time, a project rule
+    gets the full symbol table / call graph / taint summaries built by
+    :mod:`repro.analysis.callgraph` and :mod:`repro.analysis.dataflow`.
+    The MR2xx family lives here. Same purity contract as :class:`Rule`.
+    """
+
+    code: str = ""
+    name: str = ""
+    rationale: str = ""
+
+    def check_project(self, project: "object") -> Iterator[Finding]:
+        """``project`` is a :class:`repro.analysis.callgraph.Project`."""
+        raise NotImplementedError
+
+    def finding(self, rel: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+        )
+
+
 _RULES: dict[str, Type[Rule]] = {}
+_PROJECT_RULES: dict[str, Type[ProjectRule]] = {}
 
 
 def register(rule_cls: Type[Rule]) -> Type[Rule]:
     """Class decorator adding a rule to the registry (import-time only)."""
     if not rule_cls.code:
         raise ValueError(f"{rule_cls.__name__} has no code")
-    if rule_cls.code in _RULES:
+    if rule_cls.code in _RULES or rule_cls.code in _PROJECT_RULES:
         raise ValueError(f"duplicate rule code {rule_cls.code}")
     _RULES[rule_cls.code] = rule_cls
     return rule_cls
 
 
+def register_project(rule_cls: Type[ProjectRule]) -> Type[ProjectRule]:
+    """Class decorator adding a whole-program rule to the registry."""
+    if not rule_cls.code:
+        raise ValueError(f"{rule_cls.__name__} has no code")
+    if rule_cls.code in _RULES or rule_cls.code in _PROJECT_RULES:
+        raise ValueError(f"duplicate rule code {rule_cls.code}")
+    _PROJECT_RULES[rule_cls.code] = rule_cls
+    return rule_cls
+
+
 def all_rules() -> list[Rule]:
-    """Fresh instances of every registered rule, in code order."""
+    """Fresh instances of every registered per-file rule, in code order."""
     return [_RULES[code]() for code in sorted(_RULES)]
 
 
+def all_project_rules() -> list[ProjectRule]:
+    """Fresh instances of every registered project rule, in code order."""
+    return [_PROJECT_RULES[code]() for code in sorted(_PROJECT_RULES)]
+
+
 def rule_catalog() -> dict[str, dict[str, str]]:
-    return {
+    per_file = {
         code: {"name": cls.name, "rationale": cls.rationale}
-        for code, cls in sorted(_RULES.items())
+        for code, cls in _RULES.items()
     }
+    project = {
+        code: {"name": cls.name, "rationale": cls.rationale}
+        for code, cls in _PROJECT_RULES.items()
+    }
+    return dict(sorted({**per_file, **project}.items()))
 
 
 # -- shared AST helpers used by several rules ------------------------------

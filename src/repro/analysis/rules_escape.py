@@ -1,0 +1,258 @@
+"""MR202: kernel-protocol escape analysis.
+
+MR101 checks the kernel protocol one function at a time: a ``yield`` of
+something that is *syntactically* not an Event, or a callback that
+*directly* calls ``env.step()``. Both checks go blind the moment a helper
+function sits in between:
+
+    def _pause(self):
+        return self.delay * 2            # a float, not an Event
+
+    def body(self):
+        yield self._pause()              # hangs/fails the process
+
+    def on_done(event):
+        _drain(env)                      # -> env.run() inside a callback
+
+MR202 closes that gap with the project call graph: it classifies every
+function's return as event / not-event / unknown (to a fixpoint through
+call chains), flags ``yield helper()`` where every resolved target
+definitely cannot return an Event, and walks call edges out of
+callback-registered functions to find re-entries into the dispatch loop
+that MR101's single-function view cannot see.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from .findings import Finding
+from .registry import (
+    SIM_SCOPE,
+    ProjectRule,
+    own_statements,
+    register_project,
+    unparse,
+)
+from .rules_kernel import (
+    _callback_names,
+    _definitely_not_event,
+    _is_env_receiver,
+    _is_eventish,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .callgraph import ClassInfo, FunctionInfo, Project
+
+EVENT = "EVENT"
+NOT_EVENT = "NOT_EVENT"
+UNKNOWN = "UNKNOWN"
+
+#: Where the kernel's Event hierarchy lives.
+_EVENTS_MODULE = "simulation/events.py"
+
+#: How many call edges to follow out of a callback before giving up.
+_REENTRY_DEPTH = 5
+
+
+def _class_is_eventish(project: "Project", cls: "ClassInfo",
+                       _seen: Optional[set[str]] = None) -> bool:
+    """Is this class the kernel Event type or derived from it?"""
+    seen = _seen or set()
+    if cls.qname in seen:
+        return False
+    seen.add(cls.qname)
+    if cls.module.rel == _EVENTS_MODULE:
+        return True
+    if cls.name == "Event":
+        return True
+    for base_name in cls.base_names:
+        base = project._class_by_local_name(cls.module.rel, base_name)
+        if base is not None and _class_is_eventish(project, base, seen):
+            return True
+    return False
+
+
+def classify_returns(project: "Project",
+                     max_passes: int = 4) -> dict[str, str]:
+    """EVENT / NOT_EVENT / UNKNOWN for every project function's return.
+
+    A *generator* function is NOT_EVENT by definition: calling it returns
+    a generator object, which the kernel rejects at a ``yield`` (the fix
+    is ``yield from`` or ``env.process(...)``). A function whose every
+    ``return`` is statically a non-event — or that never returns a value
+    at all — is NOT_EVENT. Anything event-looking anywhere makes it
+    EVENT; mixtures and unresolvable calls stay UNKNOWN (never flagged).
+    """
+    kinds: dict[str, str] = {}
+    for qname, info in project.functions.items():
+        kinds[qname] = NOT_EVENT if info.is_generator else UNKNOWN
+
+    for _ in range(max_passes):
+        changed = False
+        for qname, info in project.functions.items():
+            if info.is_generator:
+                continue
+            new = _classify_one(project, info, kinds)
+            if new != kinds[qname]:
+                kinds[qname] = new
+                changed = True
+        if not changed:
+            break
+    return kinds
+
+
+def _classify_one(project: "Project", info: "FunctionInfo",
+                  kinds: dict[str, str]) -> str:
+    returns = [n for n in own_statements(info.node)
+               if isinstance(n, ast.Return)]
+    if not returns or all(r.value is None for r in returns):
+        return NOT_EVENT
+    verdicts = []
+    for r in returns:
+        if r.value is None:
+            verdicts.append(NOT_EVENT)
+            continue
+        verdicts.append(_expr_kind(project, info, r.value, kinds))
+    if any(v == EVENT for v in verdicts):
+        return EVENT
+    if all(v == NOT_EVENT for v in verdicts):
+        return NOT_EVENT
+    return UNKNOWN
+
+
+def _expr_kind(project: "Project", info: "FunctionInfo", expr: ast.expr,
+               kinds: dict[str, str]) -> str:
+    if _is_eventish(expr):
+        return EVENT
+    if isinstance(expr, ast.Call):
+        targets = project.call_targets(info.qname, expr)
+        if targets:
+            verdicts = set()
+            for qname in targets:
+                callee = project.functions.get(qname)
+                if callee is not None and callee.name == "__init__" \
+                        and callee.cls is not None:
+                    verdicts.add(EVENT if _class_is_eventish(
+                        project, callee.cls) else NOT_EVENT)
+                else:
+                    verdicts.add(kinds.get(qname, UNKNOWN))
+            if verdicts == {EVENT}:
+                return EVENT
+            if verdicts == {NOT_EVENT}:
+                return NOT_EVENT
+            return UNKNOWN
+        return UNKNOWN
+    if _definitely_not_event(expr):
+        return NOT_EVENT
+    return UNKNOWN
+
+
+def _contains_dispatch_call(info: "FunctionInfo") -> Optional[ast.Call]:
+    """A direct ``env.step()`` / ``env.run()`` call inside this function."""
+    for node in own_statements(info.node):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("step", "run")
+                and _is_env_receiver(node.func.value)):
+            return node
+    return None
+
+
+@register_project
+class KernelEscapeRule(ProjectRule):
+    code = "MR202"
+    name = "kernel-escape"
+    rationale = (
+        "Kernel-protocol violations that hide behind helper calls: yields "
+        "of helpers that cannot return an Event, and callbacks that "
+        "re-enter the dispatch loop transitively; MR101 only checks one "
+        "function at a time."
+    )
+
+    def check_project(self, project: "Project") -> Iterator[Finding]:
+        kinds = classify_returns(project)
+        yield from self._check_yields(project, kinds)
+        yield from self._check_reentry(project)
+
+    # -- yields of helper calls ---------------------------------------------
+    def _check_yields(self, project: "Project",
+                      kinds: dict[str, str]) -> Iterator[Finding]:
+        for info in project.functions_in(SIM_SCOPE):
+            if not info.is_generator:
+                continue
+            yields = [n for n in own_statements(info.node)
+                      if isinstance(n, ast.Yield)]
+            # Same gate as MR101: only generators that demonstrably yield
+            # events are simulation processes; data generators yield values.
+            if not any(y.value is not None and _is_eventish(y.value)
+                       for y in yields):
+                continue
+            for y in yields:
+                if not isinstance(y.value, ast.Call):
+                    continue
+                targets = project.call_targets(info.qname, y.value)
+                if not targets:
+                    continue
+                verdicts = {kinds.get(q, UNKNOWN) for q in targets}
+                if verdicts != {NOT_EVENT}:
+                    continue
+                callee = project.functions.get(targets[0])
+                hint = (" — a generator; use `yield from` or wrap in "
+                        "`env.process(...)`"
+                        if callee is not None and callee.is_generator else "")
+                yield self.finding(
+                    info.rel, y,
+                    f"simulation process {info.name!r} yields "
+                    f"`{unparse(y.value)}`, but "
+                    f"{targets[0].split('::')[-1]!r} cannot return an "
+                    f"Event{hint}")
+
+    # -- transitive callback re-entry ---------------------------------------
+    def _check_reentry(self, project: "Project") -> Iterator[Finding]:
+        for mod in project.modules:
+            if not mod.in_scope(SIM_SCOPE):
+                continue
+            callback_names = _callback_names(mod.tree)
+            if not callback_names:
+                continue
+            for info in project.functions.values():
+                if info.rel != mod.rel or info.name not in callback_names:
+                    continue
+                yield from self._trace_reentry(project, info)
+
+    def _trace_reentry(self, project: "Project",
+                       callback: "FunctionInfo") -> Iterator[Finding]:
+        # BFS over call edges; report the *first* call site inside the
+        # callback whose transitive closure reaches env.step()/env.run().
+        for call, targets in project.callsites.get(callback.qname, ()):
+            for target in targets:
+                chain = self._reaches_dispatch(project, target, depth=1,
+                                               seen={callback.qname})
+                if chain is not None:
+                    names = " -> ".join(q.split("::")[-1] for q in chain)
+                    yield self.finding(
+                        callback.rel, call,
+                        f"kernel callback {callback.name!r} re-enters the "
+                        f"dispatch loop transitively: {names} calls "
+                        f"env.step()/env.run() while a step is already on "
+                        f"the stack")
+                    return
+
+    def _reaches_dispatch(self, project: "Project", qname: str, depth: int,
+                          seen: set[str]) -> Optional[list[str]]:
+        if qname in seen or depth > _REENTRY_DEPTH:
+            return None
+        seen.add(qname)
+        info = project.functions.get(qname)
+        if info is None:
+            return None
+        if _contains_dispatch_call(info) is not None:
+            return [qname]
+        for _, targets in project.callsites.get(qname, ()):
+            for target in targets:
+                chain = self._reaches_dispatch(project, target, depth + 1, seen)
+                if chain is not None:
+                    return [qname] + chain
+        return None

@@ -1,0 +1,68 @@
+"""MR201: interprocedural determinism taint.
+
+MR102 flags a ``for x in some_set`` inside scheduling code — but only
+when the set is visible in the *same function*. The moment the set hides
+behind one helper call —
+
+    def _candidates(self):
+        return set(self.nodes) - self.busy      # unordered
+
+    def assign(self):
+        for node in self._candidates():          # hash-ordered iteration
+            ...
+
+— MR102 goes blind. MR201 runs the :mod:`repro.analysis.dataflow` taint
+engine over the whole-program call graph and reports scheduling-scope
+sinks (iterations, sort keys, branch decisions) reached by an
+``ORDER``/``VALUE`` source through at least one call/return edge.
+Same-function flows stay MR102's, so the two rules never double-report.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from .findings import Finding
+from .registry import SCHEDULING_SCOPE, ProjectRule, register_project, unparse
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .callgraph import Project
+
+
+@register_project
+class InterproceduralTaintRule(ProjectRule):
+    code = "MR201"
+    name = "interproc-determinism"
+    rationale = (
+        "Hash-ordered collections and process-dependent scalars (id/hash/"
+        "global random) must not flow through helper calls into scheduling "
+        "or placement decisions; MR102 only sees same-function uses."
+    )
+
+    def check_project(self, project: "Project") -> Iterator[Finding]:
+        from .dataflow import compute_summaries, iter_sinks
+
+        summaries = compute_summaries(project)
+        seen: set[tuple[str, int, str]] = set()
+        for info, sink in iter_sinks(project, summaries, SCHEDULING_SCOPE):
+            line = getattr(sink.node, "lineno", 1)
+            key = (info.rel, line, sink.what)
+            if key in seen:
+                continue
+            seen.add(key)
+            source = sink.fact.desc or "an unordered source"
+            via = f" via {sink.fact.via}()" if sink.fact.via else ""
+            if sink.what == "iteration":
+                message = (
+                    f"{info.name!r} iterates `{unparse(sink.node)}`, whose "
+                    f"order is hash-dependent ({source}{via}) — sort it or "
+                    f"key on a sequence number")
+            elif sink.what == "sort-key":
+                message = (
+                    f"{info.name!r} sorts with a process-dependent key "
+                    f"({source}{via}) — not stable across runs")
+            else:
+                message = (
+                    f"{info.name!r} branches on a process-dependent value "
+                    f"({source}{via}) — the decision varies across runs")
+            yield self.finding(info.rel, sink.node, message)

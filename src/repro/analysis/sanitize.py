@@ -20,11 +20,14 @@ module-level counter or cache shifts the repeated digest.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
+import random
 import subprocess
 import sys
-from typing import Callable, Optional
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional
 
 
 def scenario_digest() -> dict[str, str]:
@@ -116,7 +119,8 @@ def _run_scenario() -> tuple[str, str]:
     return event_h.hexdigest(), metrics_h.hexdigest()
 
 
-def _run_serving_scenario(telemetry: bool = False) -> tuple[str, ...]:
+def _run_serving_scenario(telemetry: bool = False,
+                          observables_only: bool = False) -> tuple[str, ...]:
     """Serving-mode digest: churn + admission + autoscaling replay.
 
     Small (≈30 arrivals) but crosses every serving code path that owns a
@@ -127,6 +131,14 @@ def _run_serving_scenario(telemetry: bool = False) -> tuple[str, ...]:
     scraper installed and a third element is returned: the sha256 of the
     OpenMetrics export. The event digest lets the sanitizer prove scrape
     transparency (it must equal the telemetry-off digest).
+
+    ``observables_only=True`` (the race sanitizer's view) drops the
+    ``kernel_*`` self-metrics family from the export before hashing: the
+    replay stops when its done-event fires, so *how many* same-instant
+    events the kernel dispatched before stopping is a property of the tie
+    order itself — the race sanitizer permutes exactly that, and only
+    simulation observables are required to hold. The hash-seed sanitizer
+    keeps the full export (it must be byte-stable across hash seeds).
     """
     from repro.config import (HadoopConfig, ServingConfig, TelemetryConfig,
                               a3_cluster)
@@ -153,8 +165,11 @@ def _run_serving_scenario(telemetry: bool = False) -> tuple[str, ...]:
     metrics_h = hashlib.sha256(
         json.dumps(report.to_dict(), sort_keys=True).encode())
     if telemetry:
-        openmetrics_h = hashlib.sha256(
-            cluster.env.telemetry.openmetrics().encode())
+        export = cluster.env.telemetry.openmetrics()
+        if observables_only:
+            export = "\n".join(line for line in export.splitlines()
+                               if not line.startswith("kernel_"))
+        openmetrics_h = hashlib.sha256(export.encode())
         return (event_h.hexdigest(), metrics_h.hexdigest(),
                 openmetrics_h.hexdigest())
     return event_h.hexdigest(), metrics_h.hexdigest()
@@ -303,3 +318,118 @@ def run_sanitizer(seeds: tuple[int, int] = (1, 2),
         f"(scrape transparency); OpenMetrics sha "
         f"{a['telemetry_openmetrics_digest'][:16]}… stable across seeds")
     return 0
+
+
+# -- same-timestamp race sanitizer -----------------------------------------
+#
+# The kernel breaks (time, priority) ties by insertion order, which makes
+# runs deterministic — but determinism is not the same as *robustness*: if
+# a scheduling decision depends on which of two same-instant events
+# happens to have been scheduled first, any innocent refactor that swaps
+# two ``schedule()`` calls silently changes every figure. The race
+# sanitizer makes that hazard a hard failure: it patches the kernel so
+# the tie-break among events sharing a (timestamp, priority) class is a
+# seeded random permutation instead of insertion order, runs the
+# reference scenarios under two different permutations, and requires all
+# observable metrics (job timings, placements, serving report, exported
+# OpenMetrics) to be byte-identical to the unpermuted run. Causality is
+# preserved: an event scheduled *while* its sibling is being dispatched
+# was never in the queue at the same time, so only genuinely concurrent
+# events are permuted.
+
+
+@contextmanager
+def permuted_ties(seed: int) -> Iterator[None]:
+    """Patch the kernel so same-(time, priority) dispatch order is a
+    seeded permutation rather than insertion order.
+
+    The tie-break third element of each queue entry becomes
+    ``(random_bits, insertion_counter)`` — still unique and hashable (the
+    BucketQueue's lazy-cancel set keys on it), but heap comparison now
+    follows the random bits first. Patched at class level so environments
+    constructed inside the context are covered from their very first
+    event (mixing int and tuple tie-breaks in one queue would not
+    compare).
+    """
+    from repro.simulation.core import Environment
+    from repro.simulation.events import NORMAL
+
+    orig_schedule = Environment.schedule
+    orig_schedule_at = Environment.schedule_at
+
+    def _tie(env: "Environment") -> tuple[int, int]:
+        state = env.__dict__.get("_race_tie_state")
+        if state is None:
+            state = (random.Random(seed), itertools.count())
+            env.__dict__["_race_tie_state"] = state
+        rng, counter = state
+        return (rng.getrandbits(32), next(counter))
+
+    def schedule(self: "Environment", event: object, priority: int = NORMAL,
+                 delay: float = 0.0) -> None:
+        self._queue.push((self._now + delay, priority, _tie(self), event))
+
+    def schedule_at(self: "Environment", event: object, at: float,
+                    priority: int = NORMAL) -> None:
+        if at < self._now:
+            raise ValueError(
+                f"schedule_at({at}) lies in the past (now={self._now})")
+        self._queue.push((at, priority, _tie(self), event))
+
+    Environment.schedule = schedule  # type: ignore[method-assign]
+    Environment.schedule_at = schedule_at  # type: ignore[method-assign]
+    try:
+        yield
+    finally:
+        Environment.schedule = orig_schedule  # type: ignore[method-assign]
+        Environment.schedule_at = orig_schedule_at  # type: ignore[method-assign]
+
+
+def run_race_sanitizer(seeds: tuple[int, int] = (1, 2),
+                       echo: Optional[Callable[[str], None]] = None) -> int:
+    """Permute same-timestamp dispatch order; metrics must not move.
+
+    Returns 0 when every scenario's observable metrics are identical
+    across the unpermuted run and both permutation seeds, 1 otherwise.
+    """
+    say = echo or (lambda _msg: None)
+    say(f"race sanitizer: permuting (time, priority) ties with seeds "
+        f"{seeds[0]} and {seeds[1]}")
+
+    def _metrics_only(run: Callable[[], tuple[str, ...]]) -> tuple[str, ...]:
+        # Drop the event-order digest: the permutation reorders dispatch
+        # within a tie class *by design*; only observables must hold.
+        return run()[1:]
+
+    scenarios: list[tuple[str, Callable[[], tuple[str, ...]]]] = [
+        ("wordcount+node-fail", lambda: _metrics_only(_run_scenario)),
+        ("serving+churn", lambda: _metrics_only(_run_serving_scenario)),
+        ("telemetry", lambda: _metrics_only(
+            lambda: _run_serving_scenario(telemetry=True,
+                                          observables_only=True))),
+        ("1k-scale", lambda: _metrics_only(_run_scale_scenario)),
+    ]
+
+    failures: list[str] = []
+    for name, run in scenarios:
+        reference = run()
+        digests = {}
+        for seed in seeds:
+            with permuted_ties(seed):
+                digests[seed] = run()
+        for seed, got in digests.items():
+            if got != reference:
+                failures.append(
+                    f"{name}: metrics moved under tie permutation "
+                    f"(seed {seed}) — a scheduling decision depends on "
+                    f"same-timestamp dispatch order")
+        if all(got == reference for got in digests.values()):
+            say(f"OK {name:<20} metrics {reference[0][:16]}… invariant "
+                f"under tie permutation")
+
+    if failures:
+        for line in failures:
+            say(f"FAIL {line}")
+        return 1
+    return 0
+

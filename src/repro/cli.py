@@ -530,12 +530,20 @@ def cmd_lint(args) -> int:
         argv.append("--no-baseline")
     if args.update_baseline:
         argv.append("--update-baseline")
+    if args.fail_stale:
+        argv.append("--fail-stale")
+    if args.changed_only:
+        argv.append("--changed-only")
+        argv.extend(["--base", args.base])
     if args.verbose:
         argv.append("--verbose")
     if args.list_rules:
         argv.append("--list-rules")
     if args.sanitize:
         argv.append("--sanitize")
+    if args.sanitize_races:
+        argv.append("--sanitize-races")
+    if args.sanitize or args.sanitize_races:
         argv.extend(["--seeds", str(args.seeds[0]), str(args.seeds[1])])
     return analysis_main(argv)
 
@@ -706,8 +714,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="domain-specific static analysis (rules MR101-MR105) and "
-             "the dynamic determinism sanitizer")
+        help="domain-specific static analysis (intra-file rules MR101-MR105, "
+             "whole-program rules MR201-MR203) and the dynamic determinism "
+             "and race sanitizers")
     p.add_argument("paths", nargs="*",
                    help="files/directories to check (default: src/repro)")
     p.add_argument("--json", action="store_true",
@@ -717,7 +726,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-baseline", action="store_true",
                    help="report baselined findings too")
     p.add_argument("--update-baseline", action="store_true",
-                   help="accept the current findings into lint_baseline.json")
+                   help="accept the current findings into lint_baseline.json "
+                        "(also prunes stale entries)")
+    p.add_argument("--fail-stale", action="store_true",
+                   help="fail if the baseline has entries no finding matches")
+    p.add_argument("--changed-only", action="store_true",
+                   help="report findings only for files changed vs --base")
+    p.add_argument("--base", default="HEAD", metavar="REF",
+                   help="git ref for --changed-only (default: HEAD)")
     p.add_argument("--verbose", action="store_true",
                    help="also print baselined findings")
     p.add_argument("--list-rules", action="store_true",
@@ -725,8 +741,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sanitize", action="store_true",
                    help="run the scenario twice under different "
                         "PYTHONHASHSEED values and diff the digests")
+    p.add_argument("--sanitize-races", action="store_true",
+                   help="permute same-(time, priority) event dispatch order "
+                        "and verify the observable metrics are invariant")
     p.add_argument("--seeds", nargs=2, type=int, default=(1, 2),
-                   metavar=("A", "B"), help="hash seeds for --sanitize")
+                   metavar=("A", "B"),
+                   help="seeds for --sanitize / --sanitize-races")
     p.set_defaults(fn=cmd_lint)
 
     sub.add_parser("validate",

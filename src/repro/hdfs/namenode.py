@@ -33,6 +33,10 @@ class NameNode:
         self.topology = topology
         self.block_size_mb = block_size_mb
         self.replication = replication
+        self._seed = seed
+        #: Draws that are not tied to a file path (e.g. re-replication
+        #: targets) come from this stream; per-file placement must not —
+        #: see :meth:`_file_rng`.
         self._rng = random.Random(seed)
         self._files: dict[str, HdfsFile] = {}
         self._block_ids = itertools.count(1)
@@ -68,11 +72,12 @@ class NameNode:
         if size_mb < 0:
             raise ValueError("size cannot be negative")
         file = HdfsFile(path)
+        rng = self._file_rng(path)
         remaining = size_mb
         while remaining > 0 or not file.blocks:
             chunk = min(self.block_size_mb, remaining) if remaining > 0 else 0.0
             block = Block(next(self._block_ids), path, chunk,
-                          replicas=self._place_replicas(writer_node))
+                          replicas=self._place_replicas(writer_node, rng))
             file.blocks.append(block)
             remaining -= chunk
             if chunk == 0:
@@ -80,23 +85,38 @@ class NameNode:
         self._files[path] = file
         return file
 
-    def _place_replicas(self, writer_node: Optional[str]) -> list[str]:
+    def _file_rng(self, path: str) -> random.Random:
+        """Placement stream for one file: a pure function of (seed, path).
+
+        Drawing replica targets from the shared ``_rng`` would make a
+        file's block locations depend on how many files happened to be
+        created before it — so two jobs whose inputs load at the same
+        simulated instant would swap placements under a different kernel
+        tie-break (the ``--sanitize-races`` hazard). Seeding per path keeps
+        placement independent of creation order. String seeding hashes the
+        text deterministically (no ``PYTHONHASHSEED`` dependence).
+        """
+        return random.Random(f"{self._seed}:{path}")
+
+    def _place_replicas(self, writer_node: Optional[str],
+                        rng: Optional[random.Random] = None) -> list[str]:
+        rng = rng if rng is not None else self._rng
         nodes = self.topology.node_ids
         want = min(self.replication, len(nodes))
 
         if writer_node is not None and writer_node in self.topology:
             first = writer_node
         else:
-            first = self._rng.choice(nodes)
+            first = rng.choice(nodes)
         replicas = [first]
 
         if want >= 2:
             remote_rack_nodes = [n for n in nodes if self.topology.rack_of(n) != self.topology.rack_of(first)]
             if remote_rack_nodes:
-                second = self._rng.choice(remote_rack_nodes)
+                second = rng.choice(remote_rack_nodes)
             else:  # single-rack cluster: any other node
                 others = [n for n in nodes if n != first]
-                second = self._rng.choice(others)
+                second = rng.choice(others)
             replicas.append(second)
 
         if want >= 3:
@@ -105,11 +125,11 @@ class NameNode:
                 if n not in replicas and self.topology.rack_of(n) == self.topology.rack_of(replicas[1])
             ]
             pool = same_remote or [n for n in nodes if n not in replicas]
-            replicas.append(self._rng.choice(pool))
+            replicas.append(rng.choice(pool))
 
         while len(replicas) < want:
             pool = [n for n in nodes if n not in replicas]
-            replicas.append(self._rng.choice(pool))
+            replicas.append(rng.choice(pool))
         return replicas
 
     # -- queries used by schedulers ------------------------------------------------

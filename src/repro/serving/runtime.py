@@ -26,6 +26,7 @@ the same attainment metric through the same code path.
 from __future__ import annotations
 
 from collections import deque
+from itertools import count
 from typing import TYPE_CHECKING, Generator, Optional
 
 from ..config import SLO_LATENCY, ServingConfig
@@ -44,6 +45,7 @@ from .slo import (
 if TYPE_CHECKING:  # pragma: no cover
     from ..simcluster import SimCluster
     from ..simulation.events import Event
+    from ..trace import TraceJob
 
 #: Values a dispatch event resolves with.
 SIGNAL_DISPATCH = "dispatch"
@@ -69,6 +71,14 @@ class ServingRuntime:
         self.controller = AdmissionController(
             serving, SizeEstimator(serving.initial_guess_s, serving.estimator_alpha))
         self._waiters: dict[int, "Event"] = {}
+        #: Dispatch tickets: job index -> the monotone sequence number of
+        #: its controller dispatch. One ``_pump`` call can free several
+        #: jobs at the same simulated instant; their driver processes then
+        #: resume in kernel tie-break order, so the ticket — not resume
+        #: order — carries the controller's EDF decision downstream (it
+        #: becomes the YARN AM queue's ``fifo_key``).
+        self._tickets: dict[int, int] = {}
+        self._dispatch_seq = count()
         self._static_in_flight = 0
         self.attainment = StreamingRatio()
         self._recent: deque[int] = deque(maxlen=_RECENT_WINDOW)
@@ -111,7 +121,7 @@ class ServingRuntime:
         return self.healthy_nodes() * self.serving.slots_per_node
 
     # -- SLO resolution --------------------------------------------------------
-    def resolve(self, job) -> SLOJob:
+    def resolve(self, job: "TraceJob") -> SLOJob:
         """Fix a trace arrival's SLO class and *absolute* deadline.
 
         ``job`` needs ``index``/``signature``/``arrival_s``/``slo_class``/
@@ -178,6 +188,15 @@ class ServingRuntime:
         self._waiters.pop(slo.index, None)
         return signal
 
+    def dispatch_ticket(self, slo: SLOJob) -> Optional[int]:
+        """This job's dispatch sequence number (once; ``None`` thereafter).
+
+        The driver forwards it to the submission path as the application's
+        stable FIFO key, so same-instant dispatches reach the RM's AM queue
+        in controller order regardless of event tie-breaking.
+        """
+        return self._tickets.pop(slo.index, None)
+
     def degraded_mode_for(self, slo: SLOJob) -> bool:
         """True when the overload ladder is active for this dispatch: the
         driver forces uber/U+ for latency jobs and suspends speculation for
@@ -193,6 +212,7 @@ class ServingRuntime:
             job = self.controller.next_dispatch(self.slots())
             if job is None:
                 return
+            self._tickets[job.index] = next(self._dispatch_seq)
             waiter = self._waiters.get(job.index)
             if waiter is not None and not waiter.triggered:
                 waiter.succeed(SIGNAL_DISPATCH)
@@ -215,6 +235,7 @@ class ServingRuntime:
             self.controller.job_finished(slo.index, slo.name, service_s)
         else:
             self._static_in_flight -= 1
+        self._tickets.pop(slo.index, None)
         if slo.is_latency:
             met = self.env.now <= slo.deadline_s
             self.attainment.add(met)
@@ -232,6 +253,7 @@ class ServingRuntime:
             self.controller.job_aborted(slo.index)
         else:
             self._static_in_flight -= 1
+        self._tickets.pop(slo.index, None)
         self._pump()
 
     def recent_attainment(self) -> float:

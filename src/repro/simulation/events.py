@@ -22,6 +22,12 @@ PENDING = object()
 #: Scheduling priorities. Lower runs first at equal simulation time.
 URGENT = 0
 NORMAL = 1
+#: Runs after every same-instant NORMAL event: for periodic *observers*
+#: (heartbeat ticks, samplers) that must see the settled state of their
+#: instant. Without it, whether a beat at time t notices a submission at
+#: time t depends on queue insertion order — a same-timestamp race the
+#: sanitizer (``repro lint --sanitize-races``) would flag.
+DEFERRED = 2
 
 
 class Event:

@@ -29,7 +29,8 @@ from ..config import TelemetryConfig
 from .alerts import (Alert, AlertEngine, AlertSummary, BurnRateRule,
                      HeartbeatStalenessRule, QueueSaturationRule, Rule,
                      UnderReplicationRule)
-from .instruments import (Counter, Gauge, Histogram, TelemetryRegistry)
+from .instruments import (Counter, Gauge, Histogram, LabelSet,
+                          TelemetryRegistry)
 from .openmetrics import parse_openmetrics, render_jsonl, render_openmetrics
 from .probes import UtilizationSample, sample_utilization
 from .scraper import RingSeries, Scraper
@@ -296,8 +297,19 @@ class Telemetry:
         self.scraper.install()
 
     def finish(self) -> None:
-        """Close out at end of run: one final sample on current state."""
+        """Close out at end of run: one final sample, then release the
+        kernel sampler slot.
+
+        Without the uninstall the environment's single ``env.sampler``
+        slot stays occupied forever, so installing telemetry on the same
+        environment again — a second replay on a long-lived cluster —
+        raises ``RuntimeError`` from :meth:`Scraper.install` (MR203:
+        ``Scraper.install`` without ``uninstall`` anywhere).
+        """
         self.scraper.final_scrape()
+        # Release the slot only; ``env.telemetry`` stays set so post-run
+        # exports (openmetrics/jsonl/report_section) keep working.
+        self.scraper.uninstall()
 
     # -- exports -------------------------------------------------------------
     def openmetrics(self) -> str:
@@ -306,7 +318,8 @@ class Telemetry:
     def jsonl(self) -> str:
         return render_jsonl(self.scraper)
 
-    def series(self, name: str, labels=()) -> Optional[RingSeries]:
+    def series(self, name: str,
+               labels: LabelSet | dict[str, str] = ()) -> Optional[RingSeries]:
         return self.scraper.series(name, labels)
 
     def alerts(self) -> list[Alert]:

@@ -21,9 +21,12 @@ start of the run uses an exact zero baseline rather than extrapolating.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from .scraper import RingSeries, Scraper
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simulation.core import Environment
 
 SEV_WARNING = "warning"
 SEV_CRITICAL = "critical"
@@ -169,7 +172,7 @@ class UnderReplicationRule(Rule):
 class AlertEngine:
     """Evaluates rules on every scrape; edge-triggers alert rows."""
 
-    def __init__(self, env, scraper: Scraper,
+    def __init__(self, env: Environment, scraper: Scraper,
                  rules: list[Rule]) -> None:
         self.env = env
         self.scraper = scraper

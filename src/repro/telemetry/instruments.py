@@ -24,7 +24,7 @@ the exporter appends it to counter samples.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Callable, Optional, Sequence
+from typing import Callable, Iterator, Optional, Sequence
 
 #: Label sets are stored as sorted tuples of (key, value) so identity and
 #: export order never depend on dict insertion or hash order.
@@ -186,10 +186,11 @@ class TelemetryRegistry:
     """
 
     def __init__(self) -> None:
-        self._instruments: dict[tuple[str, LabelSet], object] = {}
+        self._instruments: dict[tuple[str, LabelSet],
+                                Counter | Gauge | Histogram] = {}
         self._kinds: dict[str, str] = {}
 
-    def _register(self, instrument) -> None:
+    def _register(self, instrument: Counter | Gauge | Histogram) -> None:
         key = (instrument.name, instrument.labels)
         if key in self._instruments:
             raise ValueError(f"duplicate instrument {instrument.name} {instrument.labels}")
@@ -221,18 +222,19 @@ class TelemetryRegistry:
         self._register(h)
         return h
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Counter | Gauge | Histogram]:
         return iter(self._instruments.values())
 
     def __len__(self) -> int:
         return len(self._instruments)
 
-    def get(self, name: str, labels: Optional[dict[str, str]] = None):
+    def get(self, name: str, labels: Optional[dict[str, str]] = None
+            ) -> Optional[Counter | Gauge | Histogram]:
         return self._instruments.get((name, make_labels(labels)))
 
-    def families(self) -> list[tuple[str, list]]:
+    def families(self) -> list[tuple[str, list[Counter | Gauge | Histogram]]]:
         """Instruments grouped by metric name, in registration order."""
-        grouped: dict[str, list] = {}
+        grouped: dict[str, list[Counter | Gauge | Histogram]] = {}
         for instrument in self._instruments.values():
             grouped.setdefault(instrument.name, []).append(instrument)
         return list(grouped.items())

@@ -17,8 +17,12 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from .instruments import Counter, Gauge, Histogram, TelemetryRegistry
+from .instruments import Counter, Gauge, Histogram, LabelSet, TelemetryRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .scraper import Scraper
 
 
 def _format_value(v: float) -> str:
@@ -42,7 +46,7 @@ def _escape_help(text: str) -> str:
     return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
-def _render_labels(labels, extra: str = "") -> str:
+def _render_labels(labels: LabelSet, extra: str = "") -> str:
     parts = [f'{k}="{escape_label_value(v)}"' for k, v in labels]
     if extra:
         parts.insert(0, extra)
@@ -182,7 +186,7 @@ def parse_openmetrics(text: str) -> dict[str, ParsedFamily]:
 
 # -- JSONL ---------------------------------------------------------------------
 
-def render_jsonl(scraper) -> str:
+def render_jsonl(scraper: Scraper) -> str:
     """Ring-buffer contents as JSON Lines: one object per retained sample.
 
     Series appear in first-scrape order and samples oldest-first, so the

@@ -31,9 +31,12 @@ have been interesting, and nothing changes them while no events run).
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
-from .instruments import TelemetryRegistry
+from .instruments import LabelSet, TelemetryRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simulation.core import Environment
 
 
 class RingSeries:
@@ -41,7 +44,7 @@ class RingSeries:
 
     __slots__ = ("name", "labels", "times", "values")
 
-    def __init__(self, name: str, labels, maxlen: int) -> None:
+    def __init__(self, name: str, labels: LabelSet, maxlen: int) -> None:
         self.name = name
         self.labels = labels
         self.times: deque[float] = deque(maxlen=maxlen)
@@ -78,7 +81,7 @@ class RingSeries:
 class Scraper:
     """Samples every registry instrument at the scrape grid points."""
 
-    def __init__(self, env, registry: TelemetryRegistry, *,
+    def __init__(self, env: Environment, registry: TelemetryRegistry, *,
                  interval_s: float, retention: int,
                  catchup_limit: int = 8) -> None:
         if interval_s <= 0:
@@ -101,6 +104,10 @@ class Scraper:
         #: Called with the grid timestamp after each scrape (alert engine).
         self.on_scrape: list[Callable[[float], None]] = []
         self._installed = False
+        # One stable bound-method object: ``self._on_due`` evaluates to a
+        # *fresh* bound method each access, so identity checks against
+        # whatever was stored in ``env.sampler`` need this cached one.
+        self._hook = self._on_due
 
     # -- installation -------------------------------------------------------
     def install(self) -> None:
@@ -110,13 +117,13 @@ class Scraper:
         if self.env.sampler is not None:
             raise RuntimeError("another sampler is already installed on "
                                "this environment")
-        self.env.sampler = self._on_due
+        self.env.sampler = self._hook
         self.env.sample_next = self._next_t
         self._installed = True
 
     def uninstall(self) -> None:
         if self._installed:
-            if self.env.sampler is self._on_due:
+            if self.env.sampler is self._hook:
                 self.env.sampler = None
                 self.env.sample_next = float("inf")
             self._installed = False
@@ -169,7 +176,8 @@ class Scraper:
         self.sample(now)
 
     # -- access -------------------------------------------------------------
-    def series(self, name: str, labels=()) -> Optional[RingSeries]:
+    def series(self, name: str, labels: LabelSet | dict[str, str] = ()
+               ) -> Optional[RingSeries]:
         if isinstance(labels, dict):
             labels = tuple(sorted(labels.items()))
         return self._series.get((name, labels))

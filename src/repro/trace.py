@@ -564,7 +564,14 @@ def replay_load(cluster: "SimCluster", trace: Sequence[TraceJob],
                 if strategy == STRATEGY_STOCK:
                     queue = queue_of(job.template.name) if queue_of is not None else None
                     mode = MODE_UBER if degraded and slo.is_latency else MODE_AUTO
-                    result = yield client.submit(spec, mode, queue=queue)
+                    # The admission controller's dispatch ticket pins this
+                    # job's AM-queue position: several jobs dispatched at
+                    # one instant must reach the RM in controller (EDF)
+                    # order, not kernel tie-break order.
+                    ticket = (runtime.dispatch_ticket(slo)
+                              if runtime is not None else None)
+                    result = yield client.submit(spec, mode, queue=queue,
+                                                 fifo_key=ticket)
                     decision = result.mode
                 elif strategy == STRATEGY_SPECULATIVE and not degraded:
                     spec_outcome = yield executor.submit(spec)

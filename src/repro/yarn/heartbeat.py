@@ -50,7 +50,7 @@ from itertools import count
 from typing import TYPE_CHECKING, Callable, Optional
 
 from ..simulation.bucketq import BucketQueue
-from ..simulation.events import Event
+from ..simulation.events import DEFERRED, Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..simulation.core import Environment
@@ -179,7 +179,10 @@ class HeartbeatWheel:
         tick = Event(self._env)
         tick._value = None  # pre-triggered, like a Timeout
         tick.callbacks.append(self._make_fire(when))
-        self._env.schedule_at(tick, when)
+        # DEFERRED: a beat at time t reports the node's *settled* state at
+        # t. Submissions, releases and completions stamped t must be
+        # visible to it no matter which order their events were queued in.
+        self._env.schedule_at(tick, when, priority=DEFERRED)
 
     def _make_fire(self, when: float) -> Callable[[Event], None]:
         def fire(_event: Event) -> None:

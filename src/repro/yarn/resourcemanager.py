@@ -11,6 +11,7 @@ The RM is the hub the paper's Figures 2/3 revolve around:
 
 from __future__ import annotations
 
+from itertools import count
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from ..cluster.resources import ResourceVector
@@ -60,8 +61,12 @@ class ResourceManager:
         self._am_attempts: dict[str, int] = {}
         #: Containers granted by the scheduler but not yet fetched by the AM.
         self._ready: dict[str, list[Container]] = {}
-        #: Applications whose AM container is not allocated yet (FIFO).
+        #: Applications whose AM container is not allocated yet. Served in
+        #: (queue_time, fifo_key) order — FIFO by *intent*, not by which
+        #: same-instant submitter's kernel event happened to run first.
         self._am_queue: list[Application] = []
+        #: Fallback fifo_key source for apps submitted without one.
+        self._submit_seq = count()
         self._am_processes: dict[str, Any] = {}
         #: Callbacks fired on node_lost(node_id) — e.g. the MRapid submission
         #: framework killing pooled-AM jobs whose slave died with the node.
@@ -142,6 +147,9 @@ class ResourceManager:
         if app.app_id in self.apps:
             raise ValueError(f"duplicate application {app.app_id}")
         app.submit_time = self.env.now
+        if app.fifo_key is None:
+            app.fifo_key = next(self._submit_seq)
+        app.queue_time = self.env.now
         app.am_started = self.env.event()
         app.finished = self.env.event()
         self.apps[app.app_id] = app
@@ -206,7 +214,13 @@ class ResourceManager:
         # Hadoop 2.2 = memory-only).
         memory_only = getattr(self.scheduler, "memory_only", False)
         am_limit_mb = self.conf.am_resource_fraction * self.total_capability().memory_mb
-        for app in self.scheduler.am_queue_order(list(self._am_queue)):
+        # (queue_time, fifo_key) is the queue's *intended* FIFO order; the
+        # append order of _am_queue is whatever same-instant kernel tie-break
+        # the submitters happened to resume in, which observable figures
+        # must not depend on (the race sanitizer permutes it).
+        fifo = sorted(self._am_queue,
+                      key=lambda a: (a.queue_time, a.fifo_key))
+        for app in self.scheduler.am_queue_order(fifo):
             if self.am_memory_used_mb + app.am_resource.memory_mb > am_limit_mb + 1e-9:
                 # maximum-am-resource-percent reached: the head-of-line app
                 # (in scheduler order) blocks admission, like the real
@@ -310,6 +324,11 @@ class ResourceManager:
             # tasks when am_work_preserving_recovery is on.
             self._am_attempts[app.app_id] = attempt + 1
             app.am_container = None
+            # Re-queue at *now* (no queue jumping over apps submitted since
+            # the first attempt); same-instant restarts — a node death kills
+            # several AMs at once — fall back on the apps' original
+            # submission order via the retained fifo_key.
+            app.queue_time = self.env.now
             self._am_queue.append(app)
             self.log.mark(self.env.now, "am_restarted",
                           app_id=app.app_id, attempt=attempt + 1)

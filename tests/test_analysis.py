@@ -6,11 +6,18 @@ double as a spec of the approved patterns.
 """
 
 import json
+import os
 import textwrap
 
 from repro.analysis import Baseline, analyze_paths
 from repro.analysis import main as analysis_main
-from repro.analysis.registry import ModuleSource, all_rules, rule_catalog
+from repro.analysis.callgraph import build_project
+from repro.analysis.registry import (
+    ModuleSource,
+    all_project_rules,
+    all_rules,
+    rule_catalog,
+)
 
 SRC_ROOT = "src/repro"
 
@@ -23,11 +30,21 @@ def run_rule(code, rel, source):
     return list(rule.check(module))
 
 
+def run_project_rule(code, sources):
+    """Findings of one whole-program rule over a synthetic project."""
+    modules = [
+        ModuleSource.parse(f"src/repro/{rel}", rel, textwrap.dedent(src))
+        for rel, src in sources.items()
+    ]
+    [rule] = [r for r in all_project_rules() if r.code == code]
+    return list(rule.check_project(build_project(modules)))
+
+
 # -- registry ------------------------------------------------------------------
 
-def test_catalog_has_all_five_rules():
+def test_catalog_has_all_rules():
     assert sorted(rule_catalog()) == ["MR101", "MR102", "MR103", "MR104",
-                                      "MR105"]
+                                      "MR105", "MR201", "MR202", "MR203"]
 
 
 # -- MR101 kernel protocol -----------------------------------------------------
@@ -254,6 +271,278 @@ def test_mr105_allows_constant_tables_and_instance_state():
     """) == []
 
 
+# -- MR201 interprocedural determinism taint -----------------------------------
+
+def test_mr201_flags_hash_order_through_helper():
+    found = run_project_rule("MR201", {"yarn/scheduler.py": """
+        class Scheduler:
+            def __init__(self):
+                self.nodes = ["n1", "n2"]
+
+            def _candidates(self):
+                return set(self.nodes)
+
+            def assign(self, launch):
+                for node in self._candidates():
+                    launch(node)
+    """})
+    assert [f.code for f in found] == ["MR201"]
+    assert "_candidates" in found[0].message
+    assert found[0].path == "yarn/scheduler.py"
+
+
+def test_mr201_follows_taint_across_modules():
+    found = run_project_rule("MR201", {
+        "cluster/pool.py": """
+            def free_nodes(nodes, busy):
+                return {n for n in nodes if n not in busy}
+        """,
+        "yarn/scheduler.py": """
+            from ..cluster.pool import free_nodes
+
+            def place(nodes, busy, launch):
+                for node in free_nodes(nodes, busy):
+                    launch(node)
+        """})
+    assert [f.code for f in found] == ["MR201"]
+    assert "free_nodes" in found[0].message
+
+
+def test_mr201_quiet_on_sorted_and_same_function_and_out_of_scope():
+    # sorted() sanitizes; same-function flows belong to MR102; modules
+    # outside the scheduling scope are not sinks.
+    assert run_project_rule("MR201", {"yarn/scheduler.py": """
+        class Scheduler:
+            def __init__(self):
+                self.nodes = ["n1", "n2"]
+
+            def _candidates(self):
+                return set(self.nodes)
+
+            def assign(self, launch):
+                for node in sorted(self._candidates()):
+                    launch(node)
+
+            def assign_local(self, launch):
+                ready = set(self.nodes)
+                for node in ready:
+                    launch(node)
+    """}) == []
+    assert run_project_rule("MR201", {"workloads/shuffle.py": """
+        def _parts(text):
+            return set(text.split())
+
+        def emit(text, out):
+            for word in _parts(text):
+                out(word)
+    """}) == []
+
+
+# -- MR202 kernel-protocol escape ------------------------------------------------
+
+def test_mr202_flags_yield_of_helper_that_cannot_return_event():
+    found = run_project_rule("MR202", {"mapreduce/tasks.py": """
+        class Runner:
+            def _pause(self):
+                return 2.0
+
+            def body(self, env):
+                yield env.timeout(1.0)
+                yield self._pause()
+    """})
+    assert len(found) == 1
+    assert "_pause" in found[0].message
+
+
+def test_mr202_hints_yield_from_for_generator_helpers():
+    found = run_project_rule("MR202", {"core/dplus.py": """
+        class Runner:
+            def _steps(self, env):
+                yield env.timeout(1.0)
+
+            def body(self, env):
+                yield env.timeout(1.0)
+                yield self._steps(env)
+    """})
+    assert len(found) == 1
+    assert "yield from" in found[0].message
+
+
+def test_mr202_allows_event_returning_and_unknown_helpers():
+    assert run_project_rule("MR202", {"mapreduce/tasks.py": """
+        class Runner:
+            def _pause(self, env):
+                return env.timeout(2.0)
+
+            def _maybe(self, env, flag):
+                if flag:
+                    return env.timeout(1.0)
+                return self.cached
+
+            def body(self, env):
+                yield env.timeout(1.0)
+                yield self._pause(env)
+                yield self._maybe(env, True)
+    """}) == []
+
+
+def test_mr202_flags_transitive_callback_reentry():
+    found = run_project_rule("MR202", {"cluster/fabric.py": """
+        def _drain(env):
+            env.run()
+
+        def fire(ev):
+            _drain(ev.env)
+
+        def arm(env, timer):
+            timer.callbacks.append(fire)
+    """})
+    assert len(found) == 1
+    assert "re-enters" in found[0].message
+    assert "_drain" in found[0].message
+
+
+def test_mr202_allows_callbacks_that_schedule_without_reentry():
+    assert run_project_rule("MR202", {"cluster/fabric.py": """
+        def _note(env, ev):
+            env.schedule(ev)
+
+        def fire(ev):
+            _note(ev.env, ev)
+
+        def arm(env, timer):
+            timer.callbacks.append(fire)
+    """}) == []
+
+
+# -- MR203 resource typestate ----------------------------------------------------
+
+_TRACER_SRC = """
+    class Tracer:
+        def begin(self, name):
+            return name
+
+        def end(self, span):
+            pass
+"""
+
+
+def test_mr203_flags_span_leak_on_early_return():
+    found = run_project_rule("MR203", {
+        "observe/tracer.py": _TRACER_SRC,
+        "yarn/runner.py": """
+            from ..observe.tracer import Tracer
+
+            class Runner:
+                def __init__(self, tracer: Tracer):
+                    self.tracer = tracer
+
+                def work(self, fail):
+                    span = self.tracer.begin("work")
+                    if fail:
+                        return None
+                    self.tracer.end(span)
+        """})
+    assert len(found) == 1
+    assert "return path" in found[0].message
+    assert found[0].path == "yarn/runner.py"
+
+
+def test_mr203_finally_protects_every_exit():
+    assert run_project_rule("MR203", {
+        "observe/tracer.py": _TRACER_SRC,
+        "yarn/runner.py": """
+            from ..observe.tracer import Tracer
+
+            class Runner:
+                def __init__(self, tracer: Tracer):
+                    self.tracer = tracer
+
+                def work(self, fail):
+                    span = self.tracer.begin("work")
+                    try:
+                        if fail:
+                            return None
+                        return span
+                    finally:
+                        self.tracer.end(span)
+        """}) == []
+
+
+def test_mr203_flags_discarded_flow_handle():
+    found = run_project_rule("MR203", {
+        "cluster/fabric.py": """
+            class SharedFabric:
+                def submit(self, size):
+                    return size
+
+                def kill(self, flow):
+                    pass
+        """,
+        "cluster/mover.py": """
+            from .fabric import SharedFabric
+
+            class Mover:
+                def __init__(self):
+                    self.fabric = SharedFabric()
+
+                def go(self):
+                    self.fabric.submit(1.0)
+        """})
+    assert len(found) == 1
+    assert "discarded" in found[0].message
+
+
+def test_mr203_flags_dead_teardown_path():
+    found = run_project_rule("MR203", {
+        "telemetry/scraper.py": """
+            class Scraper:
+                def install(self):
+                    pass
+
+                def uninstall(self):
+                    pass
+        """,
+        "telemetry/facade.py": """
+            from .scraper import Scraper
+
+            class Telemetry:
+                def __init__(self):
+                    self.scraper = Scraper()
+
+                def start(self):
+                    self.scraper.install()
+        """})
+    assert len(found) == 1
+    assert "uninstall" in found[0].message
+    assert "never called" in found[0].message
+
+
+def test_mr203_quiet_when_release_path_exists():
+    assert run_project_rule("MR203", {
+        "telemetry/scraper.py": """
+            class Scraper:
+                def install(self):
+                    pass
+
+                def uninstall(self):
+                    pass
+        """,
+        "telemetry/facade.py": """
+            from .scraper import Scraper
+
+            class Telemetry:
+                def __init__(self):
+                    self.scraper = Scraper()
+
+                def start(self):
+                    self.scraper.install()
+
+                def finish(self):
+                    self.scraper.uninstall()
+        """}) == []
+
+
 # -- line/column precision -----------------------------------------------------
 
 def test_findings_carry_precise_location():
@@ -338,7 +627,7 @@ def test_json_output_schema(capsys):
     code = analysis_main(["--json", SRC_ROOT])
     payload = json.loads(capsys.readouterr().out)
     assert code == 0
-    assert payload["version"] == 1
+    assert payload["version"] == 2
     assert payload["new_count"] == 0
     assert set(payload["rules"]) == set(rule_catalog())
     for entry in payload["findings"]:
@@ -346,6 +635,12 @@ def test_json_output_schema(capsys):
                               "baselined"}
         assert entry["code"] in payload["rules"]
         assert entry["baselined"] is True
+    # Whole-program pass metadata: call-graph size, stale keys, timing.
+    assert payload["stale_baseline"] == []
+    assert payload["project"]["modules"] > 10
+    assert payload["project"]["functions"] > 100
+    assert payload["project"]["call_edges"] > 100
+    assert payload["elapsed_s"] > 0
 
 
 def test_main_exit_codes(tmp_path, capsys):
@@ -372,6 +667,133 @@ def test_update_baseline_roundtrip(tmp_path, capsys):
     assert analysis_main(["--baseline", str(baseline_path), str(tree)]) == 0
 
 
+def _write_tree(root, files):
+    """Materialize a {rel: source} dict under ``root/repro`` on disk."""
+    for rel, src in files.items():
+        path = root / "repro" / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(src))
+    return str(root / "repro")
+
+
+_LEAK_TREE = {
+    "telemetry/scraper.py": """
+        class Scraper:
+            def install(self):
+                pass
+
+            def uninstall(self):
+                pass
+    """,
+    "telemetry/facade.py": """
+        from .scraper import Scraper
+
+        class Telemetry:
+            def __init__(self):
+                self.scraper = Scraper()
+
+            def start(self):
+                self.scraper.install()
+    """,
+}
+
+
+def test_rules_filter_selects_whole_program_rules(tmp_path, capsys):
+    """--rules gates the whole-program pass the same way it gates the
+    intra-file rules: MR203 sees the leak, MR102 sees nothing."""
+    tree = _write_tree(tmp_path, _LEAK_TREE)
+    assert analysis_main(["--no-baseline", "--rules", "MR203", tree]) == 1
+    out = capsys.readouterr().out
+    assert "MR203" in out and "uninstall" in out
+    assert analysis_main(["--no-baseline", "--rules", "MR102", tree]) == 0
+
+
+def test_fail_stale_gates_on_unused_baseline_entries(tmp_path, capsys):
+    tree = tmp_path / "repro" / "yarn"
+    tree.mkdir(parents=True)
+    (tree / "clean.py").write_text("def f():\n    return 1\n")
+    baseline_path = tmp_path / "lint_baseline.json"
+    baseline_path.write_text(json.dumps({"accepted": {
+        "MR102:yarn/gone.py:return time.time()": {
+            "count": 1, "why": "file was deleted"}}}))
+    # Stale entries alone never fail a plain run...
+    assert analysis_main(["--baseline", str(baseline_path), str(tree)]) == 0
+    capsys.readouterr()
+    # ...but the CI gate does, naming the dead key.
+    assert analysis_main(["--baseline", str(baseline_path),
+                          "--fail-stale", str(tree)]) == 1
+    out = capsys.readouterr().out
+    assert "STALE-BASELINE" in out and "yarn/gone.py" in out
+
+
+def test_update_baseline_prunes_stale_entries(tmp_path, capsys):
+    tree = tmp_path / "repro" / "yarn"
+    tree.mkdir(parents=True)
+    hot = tree / "hot.py"
+    hot.write_text("import time\n\ndef f():\n    return time.time()\n")
+    baseline_path = tmp_path / "lint_baseline.json"
+    assert analysis_main(["--baseline", str(baseline_path),
+                          "--update-baseline", str(tree)]) == 0
+    assert Baseline.load(str(baseline_path)).entries
+    capsys.readouterr()
+    hot.write_text("def f():\n    return 1\n")  # bug fixed
+    assert analysis_main(["--baseline", str(baseline_path),
+                          "--update-baseline", str(tree)]) == 0
+    assert "pruned" in capsys.readouterr().out
+    assert Baseline.load(str(baseline_path)).entries == {}
+
+
+def test_changed_files_reflects_git_worktree(tmp_path, tmp_path_factory):
+    import subprocess
+
+    from repro.analysis.runner import changed_files
+
+    def git(*argv):
+        subprocess.run(["git", "-c", "user.email=t@t", "-c", "user.name=t",
+                        *argv], cwd=tmp_path, check=True,
+                       capture_output=True)
+
+    git("init", "-q")
+    (tmp_path / "a.py").write_text("x = 1\n")
+    git("add", "a.py")
+    git("commit", "-q", "-m", "seed")
+    assert changed_files(cwd=str(tmp_path)) == []
+    (tmp_path / "a.py").write_text("x = 2\n")       # modified, tracked
+    (tmp_path / "b.py").write_text("y = 1\n")       # untracked
+    changed = changed_files(cwd=str(tmp_path))
+    assert sorted(os.path.basename(p) for p in changed) == ["a.py", "b.py"]
+    assert all(os.path.isabs(p) for p in changed)
+    # Outside any repository the helper degrades to None (= analyze all).
+    outside = tmp_path_factory.mktemp("not_a_repo")
+    assert changed_files(cwd=str(outside)) is None
+
+
+def test_report_only_scopes_report_not_the_analysis(tmp_path):
+    """A whole-program finding lands in the sink file; scoping the report
+    to the helper's file must hide it, scoping to the sink must keep it —
+    and in both cases the cross-module taint is still computed."""
+    tree = _write_tree(tmp_path, {
+        "cluster/pool.py": """
+            def free_nodes(nodes, busy):
+                return {n for n in nodes if n not in busy}
+        """,
+        "yarn/scheduler.py": """
+            from ..cluster.pool import free_nodes
+
+            def place(nodes, busy, launch):
+                for node in free_nodes(nodes, busy):
+                    launch(node)
+        """})
+    full = analyze_paths([tree])
+    assert [f.code for f in full.new] == ["MR201"]
+    sink_only = analyze_paths([tree], report_only={"yarn/scheduler.py"})
+    assert [f.code for f in sink_only.new] == ["MR201"]
+    helper_only = analyze_paths([tree], report_only={"cluster/pool.py"})
+    assert helper_only.new == []
+    # Stale detection is meaningless against a scoped report.
+    assert sink_only.stale_baseline == []
+
+
 # -- determinism sanitizer -----------------------------------------------------
 
 def test_scenario_digest_is_stable_in_process():
@@ -390,3 +812,63 @@ def test_sanitizer_passes_across_hash_seeds():
     assert run_sanitizer((1, 2), echo=lines.append) == 0
     assert any(line.startswith("OK event digest") for line in lines)
     assert any(line.startswith("OK serving digest") for line in lines)
+
+
+# -- same-timestamp race sanitizer ---------------------------------------------
+
+def _tie_order(n=12, priority=None):
+    """Fire ``n`` same-instant events; return the callback order."""
+    from repro.simulation.core import Environment
+    from repro.simulation.events import NORMAL, Event
+
+    env = Environment()
+    fired = []
+    for i in range(n):
+        ev = Event(env)
+        ev._value = None
+        ev.callbacks.append(lambda _e, i=i: fired.append(i))
+        env.schedule_at(ev, 1.0,
+                        priority=NORMAL if priority is None else priority)
+    env.run(until=2.0)
+    return fired
+
+
+def test_permuted_ties_reorders_ties_and_restores_on_exit():
+    from repro.analysis.sanitize import permuted_ties
+
+    assert _tie_order() == list(range(12))  # insertion order by default
+    with permuted_ties(1):
+        permuted = _tie_order()
+    assert sorted(permuted) == list(range(12))  # nothing lost or duplicated
+    assert permuted != list(range(12))
+    # Deterministic per seed; class-level patch fully undone on exit.
+    with permuted_ties(1):
+        assert _tie_order() == permuted
+    assert _tie_order() == list(range(12))
+
+
+def test_permuted_ties_keeps_priority_classes_apart():
+    """Only same-(time, priority) events permute: an URGENT event still
+    fires before every NORMAL one, a DEFERRED one still fires after."""
+    from repro.analysis.sanitize import permuted_ties
+    from repro.simulation.core import Environment
+    from repro.simulation.events import DEFERRED, URGENT, Event
+
+    with permuted_ties(2):
+        env = Environment()
+        fired = []
+
+        def arm(tag, priority):
+            ev = Event(env)
+            ev._value = None
+            ev.callbacks.append(lambda _e, tag=tag: fired.append(tag))
+            env.schedule_at(ev, 1.0, priority=priority)
+
+        arm("deferred", DEFERRED)
+        for i in range(5):
+            arm(i, 1)  # NORMAL
+        arm("urgent", URGENT)
+        env.run(until=2.0)
+    assert fired[0] == "urgent"
+    assert fired[-1] == "deferred"
+    assert sorted(fired[1:-1]) == list(range(5))

@@ -54,6 +54,28 @@ def test_delete_removes():
     assert not nn.exists("/x")
 
 
+def test_placement_is_independent_of_creation_order():
+    """Regression: replica targets used to be drawn from one shared RNG
+    stream, so a file's block locations depended on how many files were
+    created before it — and two jobs loading input at the same simulated
+    instant swapped placements under a different kernel tie-break order
+    (the ``--sanitize-races`` hazard). Placement must be a pure function
+    of (seed, path)."""
+    paths = [f"/in/part-{i}" for i in range(6)]
+
+    def placements(order):
+        env = Environment()
+        _, nn, _, _ = build(env)
+        for p in order:
+            nn.create_file(p, 100.0)
+        return {p: [replicas for _, replicas in nn.block_locations(p)]
+                for p in paths}
+
+    forward = placements(paths)
+    backward = placements(list(reversed(paths)))
+    assert forward == backward
+
+
 def test_file_split_into_blocks():
     env = Environment()
     _, nn, _, _ = build(env, block_size=64.0)

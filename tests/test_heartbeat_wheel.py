@@ -55,6 +55,30 @@ def test_rejoin_resumes_on_original_phase_grid():
     assert cluster.rm.nodes["dn1"].last_heartbeat != before
 
 
+def test_beat_observes_settled_state_of_its_instant():
+    """Regression: wheel ticks used to run at NORMAL priority, so a beat
+    tied with (say) a same-instant submission observed the *pre-event*
+    state or the *post-event* state depending on which landed on the
+    kernel queue first — a same-timestamp race. DEFERRED ticks always see
+    the instant's settled state, no matter the insertion order."""
+    from repro.simulation.events import Event
+
+    env = Environment()
+    state = {"n": 0}
+    seen = []
+    wheel = HeartbeatWheel(env, 2.0,
+                           lambda node_id: seen.append(state["n"]))
+    # Register first: the tick for t=1.0 is armed *before* the mutation
+    # event below is scheduled — the insertion order that lost pre-fix.
+    wheel.register("dn0", offset=1.0)  # first beat at t=1.0
+    bump = Event(env)
+    bump._value = None
+    bump.callbacks.append(lambda _ev: state.__setitem__("n", 1))
+    env.schedule_at(bump, 1.0)  # NORMAL priority, same instant as the beat
+    env.run(until=1.5)
+    assert seen == [1], "the beat must see the settled state at t=1.0"
+
+
 def test_mass_rejoin_does_not_synchronize_the_fleet():
     """All nodes crash and all restart at the same instant; their next
     beats must stay staggered on each node's own phase."""

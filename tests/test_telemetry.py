@@ -454,6 +454,27 @@ def test_trace_export_merges_counter_tracks():
     assert "telemetry" in names
 
 
+def test_finish_releases_kernel_sampler_slot():
+    """Regression: ``Telemetry.finish()`` used to leave ``env.sampler``
+    occupied forever (the MR203 paired-resource leak — install() without
+    any uninstall() path), so no sampler could ever attach to the
+    environment again after a replay."""
+    conf = _serving_conf(telemetry=TelemetryConfig())
+    cluster = build_trace_cluster(a3_cluster(3), conf=conf, seed=7)
+    trace = poisson_trace(default_serving_mix(), 15.0, 30.0, seed=13)
+    replay_load(cluster, trace)  # calls telemetry.finish()
+
+    telemetry = cluster.env.telemetry
+    assert telemetry is not None, "post-run exports must stay reachable"
+    assert cluster.env.sampler is None, "finish() must release the slot"
+    assert parse_openmetrics(telemetry.openmetrics())
+    # The freed slot is genuinely reusable.
+    scraper = Scraper(cluster.env, TelemetryRegistry(),
+                      interval_s=1.0, retention=8)
+    scraper.install()
+    scraper.uninstall()
+
+
 def test_run_load_records_scheduler_histograms():
     conf = _serving_conf(telemetry=TelemetryConfig())
     report = run_load(a3_cluster(3), default_serving_mix(), 15.0, 60.0,

@@ -71,6 +71,49 @@ def test_am_resources_released_after_finish():
     assert cluster.rm.total_used() == ResourceVector(0, 0)
 
 
+def test_same_instant_am_launch_order_follows_fifo_key():
+    """Regression: the AM allocation queue used to serve same-instant
+    submissions in list-append order, which is the kernel's tie-break
+    order — so permuting same-timestamp event dispatch swapped AM launch
+    order. A pinned ``fifo_key`` (the serving dispatch ticket) must decide
+    instead of submission order."""
+    cluster = make_cluster()
+    launched = []
+
+    def am(ctx):
+        launched.append(ctx.app.app_id)
+        yield ctx.env.timeout(1.0)
+        return "done"
+
+    second = Application("app_fifo2", "t", ResourceVector(1536, 1), am,
+                         fifo_key=2)
+    first = Application("app_fifo1", "t", ResourceVector(1536, 1), am,
+                        fifo_key=1)
+    # Submitted in the *opposite* order of their tickets, same instant.
+    cluster.rm.submit_application(second)
+    cluster.rm.submit_application(first)
+    cluster.env.run(until=first.finished)
+    cluster.env.run(until=second.finished)
+    assert launched == ["app_fifo1", "app_fifo2"]
+
+
+def test_submit_stamps_queue_time_and_keeps_pinned_fifo_key():
+    """submit_application must not overwrite a caller-pinned fifo_key and
+    must stamp the queue entry time used for AM allocation ordering."""
+    cluster = make_cluster()
+    record = []
+    pinned = Application("app_rq", "t", ResourceVector(1536, 1),
+                         dummy_am(record), fifo_key=0)
+    unpinned = Application("app_rq2", "t", ResourceVector(1536, 1),
+                           dummy_am(record))
+    cluster.rm.submit_application(pinned)
+    cluster.rm.submit_application(unpinned)
+    assert pinned.fifo_key == 0
+    assert unpinned.fifo_key is not None
+    assert pinned.queue_time == cluster.env.now
+    assert unpinned.queue_time == cluster.env.now
+
+
 def test_duplicate_app_id_rejected():
     cluster = make_cluster()
     record = []
