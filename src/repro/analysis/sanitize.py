@@ -54,6 +54,8 @@ def scenario_digest() -> dict[str, str]:
     scale_second = _run_scale_scenario()
     telemetry_first = _run_serving_scenario(telemetry=True)
     telemetry_second = _run_serving_scenario(telemetry=True)
+    tuner_first = _run_tuner_scenario()
+    tuner_second = _run_tuner_scenario()
     return {
         "event_digest": first[0],
         "metrics_digest": first[1],
@@ -77,6 +79,14 @@ def scenario_digest() -> dict[str, str]:
         "telemetry_repeat_metrics_digest": telemetry_second[1],
         "telemetry_openmetrics_digest": telemetry_first[2],
         "telemetry_repeat_openmetrics_digest": telemetry_second[2],
+        # Auto-mode learning: two consecutive replays sharing one history
+        # store, digested end to end (events + decisions + store bytes).
+        # The learned mode choices and the persisted store must be
+        # byte-stable across hash seeds and in-process repeats.
+        "tuner_event_digest": tuner_first[0],
+        "tuner_metrics_digest": tuner_first[1],
+        "tuner_repeat_digest": tuner_second[0],
+        "tuner_repeat_metrics_digest": tuner_second[1],
     }
 
 
@@ -236,6 +246,52 @@ def _run_scale_scenario() -> tuple[str, str]:
     return event_h.hexdigest(), metrics_h.hexdigest()
 
 
+def _run_tuner_scenario() -> tuple[str, str]:
+    """Auto-mode digest: two replays learning through one history store.
+
+    Replays the same short-job trace twice on fresh clusters that share a
+    single durable :class:`~repro.tuner.RunHistoryStore` in a fresh
+    temporary directory (each scenario invocation gets its own store, so
+    the in-process repeat sees the same cold start). The first replay
+    explores, the second exploits what the first recorded — the digest
+    covers every kernel event of both replays, both reports (including
+    the per-mode decision counts), and the canonical bytes of the
+    persisted store. Any hash-order dependence in the picker's argmin,
+    the store's ring eviction, or the warm-start paths diverges here.
+    """
+    import tempfile
+
+    from repro.config import HadoopConfig, TunerConfig, a3_cluster
+    from repro.trace import (STRATEGY_AUTO, build_trace_cluster,
+                             default_short_job_mix, poisson_trace,
+                             replay_load)
+    from repro.tuner import RunHistoryStore
+
+    event_h = hashlib.sha256()
+
+    def record(when: float, event: object) -> None:
+        event_h.update(f"{type(event).__name__}@{when!r};".encode())
+
+    trace = poisson_trace(default_short_job_mix(), 6.0, 120.0, seed=19)
+    reports = []
+    with tempfile.TemporaryDirectory() as tmp:
+        conf = HadoopConfig(tuner=TunerConfig(
+            history_db=os.path.join(tmp, "history.db")))
+        for _ in range(2):
+            cluster = build_trace_cluster(a3_cluster(3),
+                                          strategy=STRATEGY_AUTO,
+                                          conf=conf, seed=7)
+            cluster.env.tracers.append(record)
+            reports.append(replay_load(cluster, trace, STRATEGY_AUTO))
+        with RunHistoryStore(conf.tuner.history_db) as store:
+            store_digest = store.digest()
+    metrics = {"replays": [r.to_dict() for r in reports],
+               "store": store_digest}
+    metrics_h = hashlib.sha256(
+        json.dumps(metrics, sort_keys=True).encode())
+    return event_h.hexdigest(), metrics_h.hexdigest()
+
+
 def _child_digest(hash_seed: int) -> dict[str, str]:
     env = dict(os.environ)
     env["PYTHONHASHSEED"] = str(hash_seed)
@@ -267,7 +323,7 @@ def run_sanitizer(seeds: tuple[int, int] = (1, 2),
 
     failures = []
     scenarios = (("", ""), ("serving ", "serving_"), ("scale ", "scale_"),
-                 ("telemetry ", "telemetry_"))
+                 ("telemetry ", "telemetry_"), ("tuner ", "tuner_"))
     for run, digest in (("A", a), ("B", b)):
         for scenario, prefix in scenarios:
             if (digest[f"{prefix}event_digest"]
@@ -317,6 +373,8 @@ def run_sanitizer(seeds: tuple[int, int] = (1, 2),
     say(f"OK telemetry      event digest equals the telemetry-off replay "
         f"(scrape transparency); OpenMetrics sha "
         f"{a['telemetry_openmetrics_digest'][:16]}… stable across seeds")
+    say(f"OK tuner digest   {a['tuner_event_digest'][:16]}… identical "
+        f"across seeds and repeats (learning replays + history store)")
     return 0
 
 

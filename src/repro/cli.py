@@ -52,10 +52,12 @@ def _all_figures() -> dict:
     from .experiments.extended import EXTENDED_FIGURES
     from .experiments.loadsweep import LOAD_FIGURES
     from .experiments.overhead import OBSERVE_FIGURES
+    from .experiments.regretsweep import REGRET_FIGURES
     from .experiments.slosweep import SLO_FIGURES
 
     return {**ALL_FIGURES, **EXTENDED_FIGURES, **CHAOS_FIGURES,
-            **OBSERVE_FIGURES, **LOAD_FIGURES, **SLO_FIGURES}
+            **OBSERVE_FIGURES, **LOAD_FIGURES, **SLO_FIGURES,
+            **REGRET_FIGURES}
 
 
 def cmd_figures(_args) -> int:
@@ -107,6 +109,28 @@ def cmd_run(args) -> int:
         if profile is None:
             raise SystemExit(f"unknown workload {args.workload!r}")
 
+    if args.mode == "auto" and args.history_db:
+        # Tuned run: the repro.tuner picker chooses the mode from the
+        # durable run history (Eq. 1–3 while the signature is cold).
+        from .config import TunerConfig
+        from .trace import STRATEGY_DPLUS, build_trace_cluster
+        from .tuner import AutoModePicker, RunHistoryStore, run_auto_job
+
+        tuner_conf = TunerConfig(history_db=args.history_db)
+        cluster = build_trace_cluster(spec_builder_cluster,
+                                      strategy=STRATEGY_DPLUS)
+        paths = cluster.load_input_files("/cli", args.files, args.mb)
+        spec = SimJobSpec(args.workload, tuple(paths), profile)
+        with RunHistoryStore(args.history_db,
+                             ring_size=tuner_conf.ring_size) as store:
+            picker = AutoModePicker(store, tuner_conf)
+            result, decision = run_auto_job(cluster, spec, picker,
+                                            num_files=args.files,
+                                            file_mb=args.mb)
+            print(f"auto     : picked {decision.mode} ({decision.source}; "
+                  f"store now {len(store)} records)")
+        return _print_run_result(args, result)
+
     if args.mode in ("distributed", "uber", "auto"):
         cluster = build_stock_cluster(spec_builder_cluster)
     else:
@@ -130,6 +154,10 @@ def cmd_run(args) -> int:
     else:
         raise SystemExit(f"unknown mode {args.mode!r}")
 
+    return _print_run_result(args, result)
+
+
+def _print_run_result(args, result) -> int:
     if args.json:
         from .history import JobHistoryServer
 
@@ -151,6 +179,7 @@ TRACE_MODES = {
     "dplus": "mrapid-dplus",
     "uplus": "mrapid-uplus",
     "speculative": "mrapid-speculative",
+    "auto": "mrapid-auto",
 }
 
 
@@ -185,6 +214,12 @@ def _print_load_report(report, as_json: bool, detailed: bool) -> None:
                       f"-{scaler['scale_down_events']} events, "
                       f"{scaler['node_hours']:.3f} node-hours, "
                       f"{scaler['final_billable_nodes']} billable nodes")
+        if report.tuner:
+            srcs = report.tuner.get("sources", {})
+            pretty = ", ".join(f"{k}: {srcs[k]}" for k in sorted(srcs))
+            store = (f"  (store {report.tuner.get('store_records', 0)} records)"
+                     if report.tuner.get("learning") else "  (no history db)")
+            print(f"  tuner       {pretty or '-'}{store}")
         if report.telemetry:
             tel = report.telemetry
             print(f"  telemetry   {tel['scrapes']} scrapes x "
@@ -233,8 +268,15 @@ def cmd_trace(args) -> int:
     mix = default_serving_mix() if args.slo else default_short_job_mix()
     spec = _cluster_spec(args.cluster)
     telemetry = TelemetryConfig() if args.telemetry else None
+    tuner = None
+    if args.history_db:
+        from .config import TunerConfig
+
+        if args.mode != "auto":
+            raise SystemExit("--history-db requires --mode auto")
+        tuner = TunerConfig(history_db=args.history_db)
     conf = HadoopConfig(am_resource_fraction=args.am_fraction, serving=serving,
-                        telemetry=telemetry)
+                        telemetry=telemetry, tuner=tuner)
     if args.trace_file:
         with open(args.trace_file) as f:
             trace = parse_trace_file(f.read(), mix)
@@ -589,6 +631,10 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["distributed", "uber", "auto", "dplus", "uplus",
                             "speculative"])
     p.add_argument("--cluster", default="a3", choices=["a3", "a2"])
+    p.add_argument("--history-db", default=None, metavar="FILE",
+                   help="with --mode auto: durable run-history store "
+                        "(.json or SQLite) the tuner learns mode choices "
+                        "from across invocations")
     p.add_argument("--json", action="store_true",
                    help="print the history-server phase breakdown as JSON")
     p.set_defaults(fn=cmd_run)
@@ -607,6 +653,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mode", default=None, choices=sorted(TRACE_MODES),
                    help="submission strategy (default: compare stock and "
                         "speculative)")
+    p.add_argument("--history-db", default=None, metavar="FILE",
+                   help="with --mode auto: durable run-history store the "
+                        "tuner learns per-signature mode choices from; "
+                        "omit for pure Eq. 1-3 decisions")
     p.add_argument("--am-fraction", type=float, default=0.3,
                    help="maximum-am-resource-percent analog; <1 enables AM "
                         "admission control so scheduling order matters")

@@ -165,6 +165,47 @@ class ServingConfig:
 
 
 @dataclass(frozen=True)
+class TunerConfig:
+    """Knobs of the self-optimizing mode picker (:mod:`repro.tuner`).
+
+    Attached to :class:`HadoopConfig` as ``conf.tuner``; the default ``None``
+    disables the tuner entirely — no store is opened, the ``auto`` replay
+    strategy falls back to the Eq. 1–3 analytic decision, and every figure
+    snapshot stays byte-identical. Constructing one with ``history_db`` set
+    enables online learning: completed runs are recorded per
+    ``(signature, mode)`` and future ``auto`` decisions exploit the learned
+    estimates once each candidate has ``train_runs`` successful samples.
+    """
+
+    #: Path of the durable :class:`~repro.tuner.store.RunHistoryStore`.
+    #: ``*.json`` selects the JSON fallback backend, anything else SQLite,
+    #: ``":memory:"`` an in-process store (learning without persistence).
+    #: ``None`` disables learning — ``auto`` stays purely analytic.
+    history_db: Optional[str] = None
+    #: Successful samples required per (signature, candidate) before the
+    #: picker stops exploring that signature and exploits the argmin
+    #: estimate — HFSP's train-then-estimate discipline applied to modes.
+    train_runs: int = 1
+    #: EWMA weight of new observations in the learned service-time
+    #: estimate (same semantics as ``ServingConfig.estimator_alpha``).
+    ewma_alpha: float = 0.4
+    #: Streaming percentile the estimator exposes alongside the EWMA
+    #: (tail-latency view of a signature×mode cell; P² estimated).
+    percentile: float = 95.0
+    #: Bounded per-(signature, mode) ring: the store retains at most this
+    #: many most-recent runs per cell, so a long-lived history file stays
+    #: O(signatures × modes × ring_size) however many replays feed it.
+    ring_size: int = 64
+    #: Candidate modes the ``auto`` picker chooses among, in deterministic
+    #: exploration order. ``speculative`` is a valid extra candidate but
+    #: costs duplicate launches, so it is not explored by default.
+    candidates: tuple = ("stock", "dplus", "uplus", "uber")
+
+    def with_(self, **kwargs) -> "TunerConfig":
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
 class TelemetryConfig:
     """Knobs of the continuous-telemetry subsystem (:mod:`repro.telemetry`).
 
@@ -298,6 +339,12 @@ class HadoopConfig:
     #: ``None`` (the default) disables the telemetry subsystem; replays and
     #: figures behave byte-identically to earlier releases.
     telemetry: Optional[TelemetryConfig] = None
+
+    # -- self-optimizing mode picker (repro.tuner) ------------------------------
+    #: ``None`` (the default) disables the run-history tuner; the ``auto``
+    #: replay strategy then decides purely from Eq. 1–3 and every existing
+    #: figure and replay is byte-identical to earlier releases.
+    tuner: Optional[TunerConfig] = None
 
     def effective_vcores(self, physical_cores: int) -> int:
         """Schedulable vcores a NodeManager advertises (Fig 12 knob)."""

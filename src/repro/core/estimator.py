@@ -96,6 +96,29 @@ def pick_mode(inputs: EstimatorInputs) -> str:
     return "uplus" if estimate_uplus(inputs) <= estimate_dplus(inputs) else "dplus"
 
 
+def analytic_estimates(inputs: EstimatorInputs) -> dict[str, float]:
+    """Eq. 1–3 predictions keyed by tuner candidate mode.
+
+    The run-history tuner (:mod:`repro.tuner`) uses these as the cold-start
+    view of a signature: ``dplus``/``uplus`` are Equations 3 and 2 exactly as
+    :func:`pick_mode` compares them, ``stock`` is the full Equation 1 job
+    model, and ``uber`` is the single-container limit of Equation 2 (one map
+    wave per map task, no cluster-wide parallelism). Only ``dplus``/``uplus``
+    carry the paper's calibrated semantics; the other two exist so every
+    candidate has *some* prior ordering before any sample lands.
+    """
+    uber_inputs = EstimatorInputs(
+        t_l=inputs.t_l, t_m=inputs.t_m, s_i=inputs.s_i, s_o=inputs.s_o,
+        d_i=inputs.d_i, d_o=inputs.d_o, b_i=inputs.b_i,
+        n_m=inputs.n_m, n_c=inputs.n_c, n_u_m=1, t_reduce=inputs.t_reduce)
+    return {
+        "stock": estimate_full_job(inputs),
+        "dplus": estimate_dplus(inputs),
+        "uplus": estimate_uplus(inputs),
+        "uber": inputs.t_l + estimate_uplus(uber_inputs),
+    }
+
+
 def containers_for_deadline(inputs: EstimatorInputs, deadline_s: float,
                             max_containers: int = 4096) -> int | None:
     """Smallest n^c for which Eq. 3 predicts t_d <= deadline (None if even

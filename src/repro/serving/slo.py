@@ -109,6 +109,22 @@ class SizeEstimator:
                                      + (1.0 - self.alpha) * current)
         self._samples[name] = self._samples.get(name, 0) + 1
 
+    def warm_start(self, store) -> None:
+        """Seed estimates from a :class:`repro.tuner.RunHistoryStore`.
+
+        Replays each signature's recorded *successful* runs (oldest first,
+        whatever mode ran them) through :meth:`observe`, so admission's
+        size oracle starts a replay already knowing job types a previous
+        replay measured. Signatures already observed live are left alone.
+        """
+        from ..tuner.store import OUTCOME_SUCCESS
+
+        for signature in store.signatures():
+            if signature in self._estimates:
+                continue
+            for run in store.runs(signature, outcome=OUTCOME_SUCCESS):
+                self.observe(signature, run.elapsed_s)
+
     def report(self) -> dict[str, dict[str, float]]:
         return {
             name: {"estimate_s": self._estimates[name],

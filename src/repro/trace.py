@@ -161,6 +161,8 @@ STRATEGY_STOCK = "stock-auto"
 STRATEGY_DPLUS = "mrapid-dplus"
 STRATEGY_UPLUS = "mrapid-uplus"
 STRATEGY_SPECULATIVE = "mrapid-speculative"
+#: Per-job learned choice among stock/D+/U+/uber via :mod:`repro.tuner`.
+STRATEGY_AUTO = "mrapid-auto"
 
 
 def replay_trace(cluster: "SimCluster", trace: Sequence[TraceJob],
@@ -293,7 +295,7 @@ SCHEDULER_CAPACITY = "capacity"
 SCHEDULER_HFSP = "hfsp"
 TRACE_SCHEDULERS = (SCHEDULER_FIFO, SCHEDULER_CAPACITY, SCHEDULER_HFSP)
 TRACE_STRATEGIES = (STRATEGY_STOCK, STRATEGY_DPLUS, STRATEGY_UPLUS,
-                    STRATEGY_SPECULATIVE)
+                    STRATEGY_SPECULATIVE, STRATEGY_AUTO)
 
 #: Ring-buffer size for the shared event log during replay (bounded RSS).
 _REPLAY_LOG_LIMIT = 4096
@@ -401,6 +403,9 @@ class LoadReport:
     #: empty — and absent from :meth:`to_dict` — unless the replay ran with
     #: ``HadoopConfig.telemetry`` set.
     telemetry: dict = field(default_factory=dict)
+    #: Tuner section (decision provenance counts, store size); empty — and
+    #: absent from :meth:`to_dict` — unless the replay ran ``STRATEGY_AUTO``.
+    tuner: dict = field(default_factory=dict)
 
     def to_dict(self, digits: int = 6) -> dict:
         """JSON-stable dict (used by the CLI and the determinism checks)."""
@@ -424,6 +429,8 @@ class LoadReport:
             out["slo"] = self.slo
         if self.telemetry:
             out["telemetry"] = self.telemetry
+        if self.tuner:
+            out["tuner"] = self.tuner
         if self.per_job:
             out["jobs"] = self.per_job
         return out
@@ -443,6 +450,10 @@ class LoadReport:
         if self.telemetry:
             line += (f", telemetry {self.telemetry.get('scrapes', 0)} scrapes"
                      f"/{self.telemetry.get('alerts_fired', 0)} alerts")
+        if self.tuner:
+            srcs = self.tuner.get("sources", {})
+            line += (", tuner " + "/".join(f"{k}:{srcs[k]}" for k in sorted(srcs))
+                     + (" (learning)" if self.tuner.get("learning") else ""))
         return line
 
 
@@ -480,8 +491,20 @@ def replay_load(cluster: "SimCluster", trace: Sequence[TraceJob],
         raise ValueError("MRapid strategies need a cluster with a SubmissionFramework "
                          "(build_trace_cluster or build_mrapid_cluster)")
     executor = (SpeculativeExecutor(framework)
-                if strategy == STRATEGY_SPECULATIVE else None)
-    client = JobClient(cluster) if strategy == STRATEGY_STOCK else None
+                if strategy in (STRATEGY_SPECULATIVE, STRATEGY_AUTO) else None)
+    client = (JobClient(cluster)
+              if strategy in (STRATEGY_STOCK, STRATEGY_AUTO) else None)
+    picker = history = None
+    if strategy == STRATEGY_AUTO:
+        from .config import TunerConfig
+        from .tuner import (AutoModePicker, RunHistoryStore,
+                            record_from_result, template_inputs)
+        tuner_conf = (cluster.conf.tuner if cluster.conf.tuner is not None
+                      else TunerConfig())
+        history = (RunHistoryStore(tuner_conf.history_db,
+                                   ring_size=tuner_conf.ring_size)
+                   if tuner_conf.history_db else None)
+        picker = AutoModePicker(history, tuner_conf)
     serving = cluster.conf.serving
     runtime = ServingRuntime(cluster, serving) if serving is not None else None
     telemetry = None
@@ -496,6 +519,15 @@ def replay_load(cluster: "SimCluster", trace: Sequence[TraceJob],
     if fault_plan is not None and len(fault_plan):
         from .faults.injector import inject
         inject(cluster, fault_plan)
+    if history is not None and len(history):
+        # Durable history warm-starts the sibling estimators: HFSP's
+        # size-training phase and the serving admission size oracle skip
+        # their cold start for signatures a previous replay measured.
+        warm = getattr(cluster.rm.scheduler, "warm_start", None)
+        if warm is not None:
+            warm(history)
+        if runtime is not None:
+            runtime.controller.estimator.warm_start(history)
 
     cluster.log.bound(_REPLAY_LOG_LIMIT)
     cluster.rm.retain_finished_apps = False
@@ -519,6 +551,7 @@ def replay_load(cluster: "SimCluster", trace: Sequence[TraceJob],
         decision = "killed"
         outcome: Optional[str] = None
         dispatched = False
+        auto = None  # the tuner's AutoDecision when strategy is AUTO
 
         def record_row(label: Optional[str], sojourn: Optional[float] = None) -> None:
             if not keep_jobs:
@@ -579,6 +612,31 @@ def replay_load(cluster: "SimCluster", trace: Sequence[TraceJob],
                     decision = f"mrapid-{spec_outcome.winner_mode}"
                     if spec_outcome.loser is not None:
                         outputs.append(f"/out/{spec_outcome.loser.app_id}")
+                elif strategy == STRATEGY_AUTO and not degraded:
+                    # Per-job learned choice: Eq. 1–3 while cold, history
+                    # once the store has trained this signature.
+                    inputs = template_inputs(cluster, job.template.num_files,
+                                             job.template.file_mb,
+                                             job.template.profile)
+                    auto = picker.decide(job.signature, inputs)
+                    decision = f"auto-{auto.mode}"
+                    if auto.mode in ("stock", "uber"):
+                        queue = (queue_of(job.template.name)
+                                 if queue_of is not None else None)
+                        ticket = (runtime.dispatch_ticket(slo)
+                                  if runtime is not None else None)
+                        mode = MODE_UBER if auto.mode == "uber" else MODE_AUTO
+                        result = yield client.submit(spec, mode, queue=queue,
+                                                     fifo_key=ticket)
+                    elif auto.mode == "speculative":
+                        spec_outcome = yield executor.submit(spec)
+                        result = spec_outcome.winner
+                        if spec_outcome.loser is not None:
+                            outputs.append(f"/out/{spec_outcome.loser.app_id}")
+                    else:
+                        mode = MODE_DPLUS if auto.mode == "dplus" else MODE_UPLUS
+                        handle = framework.submit(spec, mode)
+                        result = yield handle.proc
                 else:
                     if degraded:
                         # Overload ladder: latency jobs straight to U+ (no
@@ -609,6 +667,20 @@ def replay_load(cluster: "SimCluster", trace: Sequence[TraceJob],
                     outcome = "failed"
             success = (result is not None
                        and not result.killed and not result.failed)
+            if auto is not None:
+                # Feed the outcome back into the store — killed/failed runs
+                # are recorded too (so the ring reflects reality) but never
+                # count toward training (the estimator uses successes only).
+                if result is not None:
+                    picker.observe_record(record_from_result(
+                        result, job.signature, auto.mode,
+                        input_mb=job.template.num_files * job.template.file_mb,
+                        finished_at=env.now))
+                else:
+                    picker.observe(job.signature, auto.mode,
+                                   max(0.0, env.now - dispatched_at),
+                                   outcome=outcome or "failed",
+                                   finished_at=env.now)
             if success:
                 if runtime is not None:
                     outcome = runtime.job_finished(slo, env.now - dispatched_at)
@@ -664,6 +736,10 @@ def replay_load(cluster: "SimCluster", trace: Sequence[TraceJob],
     if telemetry is not None:
         telemetry.finish()
         report.telemetry = telemetry.report_section()
+    if picker is not None:
+        report.tuner = picker.report()
+        if history is not None:
+            history.close()
     return report
 
 

@@ -1,0 +1,103 @@
+"""Learned service-time estimates over a :class:`RunHistoryStore`.
+
+Two views per ``(signature, mode)`` cell, both computed by replaying the
+cell's bounded ring (at most ``ring_size`` records, so every query is
+O(ring) with O(1) memory):
+
+* **EWMA** — the headline estimate the picker compares, same recency
+  semantics as :class:`repro.serving.slo.SizeEstimator` and RushTI's
+  duration predictor: the first sample seeds the estimate, later samples
+  fold in with weight ``alpha``. On a deterministic cluster repeated runs
+  are identical, so the EWMA equals the truth after one sample.
+* **Streaming percentile** — the tail view, tracked by the same P²
+  machinery as the replay reports (:class:`repro.metrics
+  .StreamingPercentile`): exact below five samples, constant-memory
+  estimated beyond.
+
+Only *successful* runs feed estimates — killed/AM-failed runs carry no
+usable service time (the HFSP cold-start fix applies the same rule to the
+scheduler's training phase). Estimates for one signature depend only on
+that signature's own records, so interleaving other signatures' runs in
+the store never moves them (the permutation-invariance property the test
+suite checks); the plain mean is additionally invariant under reordering
+within the cell.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..metrics import StreamingPercentile
+from .store import OUTCOME_SUCCESS, RunHistoryStore
+
+
+class HistoryEstimator:
+    """EWMA + streaming-percentile estimates from recorded runs."""
+
+    def __init__(self, store: RunHistoryStore, alpha: float = 0.4,
+                 percentile: float = 95.0) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if not 0.0 < percentile < 100.0:
+            raise ValueError("percentile must be in (0, 100)")
+        self.store = store
+        self.alpha = alpha
+        self.percentile = percentile
+
+    def _successes(self, signature: str, mode: str) -> list[float]:
+        return [r.elapsed_s for r in
+                self.store.runs(signature, mode, outcome=OUTCOME_SUCCESS)]
+
+    def samples(self, signature: str, mode: str) -> int:
+        """Successful runs retained for the cell (killed/failed excluded)."""
+        return len(self._successes(signature, mode))
+
+    def estimate(self, signature: str, mode: str) -> Optional[float]:
+        """EWMA service-time estimate; ``None`` until a success lands."""
+        values = self._successes(signature, mode)
+        if not values:
+            return None
+        acc = values[0]
+        for value in values[1:]:
+            acc = self.alpha * value + (1.0 - self.alpha) * acc
+        return acc
+
+    def mean(self, signature: str, mode: str) -> Optional[float]:
+        """Plain mean (order-invariant; what HFSP warm-start consumes)."""
+        values = self._successes(signature, mode)
+        return sum(values) / len(values) if values else None
+
+    def tail(self, signature: str, mode: str) -> Optional[float]:
+        """P² estimate of ``percentile`` over the cell's successes."""
+        values = self._successes(signature, mode)
+        if not values:
+            return None
+        acc = StreamingPercentile(self.percentile)
+        for value in values:
+            acc.add(value)
+        return acc.value
+
+    def best(self, signature: str, candidates: tuple) -> Optional[str]:
+        """Argmin EWMA among candidates with data (ties: candidate order)."""
+        scored = [(self.estimate(signature, mode), idx, mode)
+                  for idx, mode in enumerate(candidates)]
+        scored = [(est, idx, mode) for est, idx, mode in scored
+                  if est is not None]
+        if not scored:
+            return None
+        return min(scored)[2]
+
+    def report(self, signature: str) -> dict:
+        """JSON-stable per-mode summary of one signature."""
+        out = {}
+        for mode in self.store.modes(signature):
+            n = self.samples(signature, mode)
+            if not n:
+                continue
+            out[mode] = {
+                "samples": n,
+                "ewma_s": round(self.estimate(signature, mode), 6),
+                "mean_s": round(self.mean(signature, mode), 6),
+                f"p{self.percentile:g}_s": round(self.tail(signature, mode), 6),
+            }
+        return out

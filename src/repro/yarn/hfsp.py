@@ -273,11 +273,21 @@ class HFSPScheduler(SchedulerBase):
         queue.used_memory_mb = max(
             0, queue.used_memory_mb - container.resource.memory_mb)
 
-    def on_app_finished(self, app: Application) -> None:
+    def on_app_finished(self, app: Application, result=None) -> None:
         """Training feedback: fold the finished job's service time into the
         per-signature estimate. Service time runs from AM launch (not
         submission), so queueing delay under load does not inflate sizes.
+
+        Killed or failed runs carry no usable service time — a kill racing
+        the AM's own completion at the same instant, or an AM that died
+        with attempts exhausted, would otherwise poison the signature's
+        mean with a truncated duration and count toward
+        ``training_samples``, graduating the signature on garbage.
         """
+        if app.killed or (result is not None
+                          and (getattr(result, "killed", False)
+                               or getattr(result, "failed", False))):
+            return
         record = self.apps.get(app.app_id)
         name = record.name if record is not None else app.name
         started = app.launch_time if app.launch_time > 0 else app.submit_time
@@ -288,6 +298,26 @@ class HFSPScheduler(SchedulerBase):
         super().remove_app(app_id)
         self.apps.pop(app_id, None)
         self.app_queue.pop(app_id, None)
+
+    def warm_start(self, store) -> None:
+        """Seed size statistics from a :class:`repro.tuner.RunHistoryStore`.
+
+        Signatures with recorded *successful* runs start trained (or at
+        least part-trained) instead of paying the optimistic-guess phase
+        again: each stored success contributes its elapsed seconds exactly
+        as if :meth:`on_app_finished` had observed it live. Existing live
+        statistics are never overwritten, only absent ones seeded.
+        """
+        from ..tuner.store import OUTCOME_SUCCESS
+
+        for signature in store.signatures():
+            if signature in self.sizes:
+                continue
+            stats = SizeStats()
+            for run in store.runs(signature, outcome=OUTCOME_SUCCESS):
+                stats.record(run.elapsed_s)
+            if stats.samples:
+                self.sizes[signature] = stats
 
     # -- introspection -------------------------------------------------------
     def size_report(self) -> dict[str, dict[str, float]]:

@@ -172,7 +172,7 @@ class ResourceManager:
         self._launch_am(app, launch_delay=launch_delay)
 
     def application_finished(self, app: Application, result: Any) -> None:
-        self.scheduler.on_app_finished(app)
+        self.scheduler.on_app_finished(app, result)
         self.scheduler.remove_app(app.app_id)
         self._ready.pop(app.app_id, None)
         if app.finished is not None and not app.finished.triggered:

@@ -77,8 +77,14 @@ class SchedulerBase:
     def on_container_released(self, container: Container) -> None:
         """Hook: a granted container's resources returned (queue accounting)."""
 
-    def on_app_finished(self, app) -> None:
-        """Hook: an application completed (schedulers learning job sizes)."""
+    def on_app_finished(self, app, result=None) -> None:
+        """Hook: an application completed (schedulers learning job sizes).
+
+        ``result`` is the application's terminal value when the RM has one
+        (a :class:`~repro.mapreduce.spec.JobResult` for MapReduce apps) —
+        learning schedulers must inspect it (and ``app.killed``) so that
+        killed or AM-failed runs never pollute size estimates.
+        """
 
     # -- helpers ----------------------------------------------------------------
     def _grant(self, pending: PendingAsk, node: NodeState,

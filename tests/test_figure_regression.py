@@ -59,3 +59,104 @@ def test_snapshot_file_is_wellformed(snapshot):
     for fig_data in snapshot.values():
         for series in fig_data.values():
             assert len(series["x"]) == len(series["y"]) > 0
+
+
+# -- Figure A1: the tuner's oracle-regret curves ----------------------------------
+#
+# Regenerate tests/snapshots/regret.json with the recipe from the module
+# docstring, substituting figureA1_online_regret from
+# repro.experiments.regretsweep.
+
+REGRET_SNAPSHOT = os.path.join(os.path.dirname(__file__), "snapshots",
+                               "regret.json")
+
+
+@pytest.fixture(scope="module")
+def regret_figure():
+    from repro.experiments.regretsweep import figureA1_online_regret
+    return figureA1_online_regret()
+
+
+@pytest.fixture(scope="module")
+def regret_snapshot():
+    with open(REGRET_SNAPSHOT) as f:
+        return json.load(f)
+
+
+def test_figureA1_series_match_snapshot(regret_figure, regret_snapshot):
+    expected = regret_snapshot[regret_figure.figure_id]
+    assert set(regret_figure.series) == set(expected), "series set changed"
+    for name, series in regret_figure.series.items():
+        exp = expected[name]
+        assert [str(x) for x in series.x] == [str(x) for x in exp["x"]], \
+            f"Figure A1/{name}: x-axis changed"
+        for got, want in zip(series.y, exp["y"]):
+            assert got == pytest.approx(want, abs=1e-5), (
+                f"Figure A1/{name}: series drifted ({got} != {want}); if "
+                f"intentional, regenerate tests/snapshots/regret.json")
+
+
+def test_figureA1_headline_claims_hold(regret_figure):
+    """The issue's acceptance criteria, snapshot-gated: trained auto matches
+    the best static mode, post-training cumulative regret is zero, exploit
+    regret never rises."""
+    assert len(regret_figure.claims) == 3
+    for claim in regret_figure.claims:
+        assert claim.holds, claim.description
+
+
+def test_regret_snapshot_is_wellformed(regret_snapshot):
+    assert set(regret_snapshot) == {"Figure A1"}
+    series = regret_snapshot["Figure A1"]
+    assert "auto cumulative regret" in series
+    assert "auto exploit regret" in series
+    for data in series.values():
+        assert len(data["x"]) == len(data["y"]) > 0
+
+
+# -- metamorphic gates: the tuner must be invisible until asked for ---------------
+
+
+def test_auto_without_history_is_the_analytic_decision_maker():
+    """--mode auto with no history db is Eq. 1-3 decision for decision:
+    every choice is analytic-provenance and lands in pick_mode's codomain
+    (dplus/uplus — never a mode the paper's comparison cannot return)."""
+    from repro.config import a3_cluster
+    from repro.trace import (
+        STRATEGY_AUTO,
+        build_trace_cluster,
+        default_short_job_mix,
+        poisson_trace,
+        replay_load,
+    )
+
+    trace = poisson_trace(default_short_job_mix(), 6.0, 120.0, seed=11)
+    cluster = build_trace_cluster(a3_cluster(3), strategy=STRATEGY_AUTO)
+    report = replay_load(cluster, trace, STRATEGY_AUTO)
+    assert report.jobs_completed == report.jobs_submitted > 0
+    assert report.tuner["learning"] is False
+    assert set(report.tuner["sources"]) == {"analytic"}
+    assert report.tuner["sources"]["analytic"] == report.jobs_submitted
+    assert set(report.decisions) <= {"auto-dplus", "auto-uplus"}
+    assert sum(report.decisions.values()) == report.jobs_completed
+
+
+def test_tuner_off_leaves_report_surface_untouched():
+    """With HadoopConfig.tuner unset (the default) nothing tuner-shaped
+    leaks into replay reports — the JSON surface older snapshots pin."""
+    from repro.config import HadoopConfig, a3_cluster
+    from repro.trace import (
+        STRATEGY_DPLUS,
+        build_trace_cluster,
+        default_short_job_mix,
+        poisson_trace,
+        replay_load,
+    )
+
+    assert HadoopConfig().tuner is None
+    trace = poisson_trace(default_short_job_mix(), 6.0, 90.0, seed=11)
+    cluster = build_trace_cluster(a3_cluster(3), strategy=STRATEGY_DPLUS)
+    report = replay_load(cluster, trace, STRATEGY_DPLUS)
+    assert report.tuner == {}
+    assert "tuner" not in report.to_dict()
+    assert "tuner" not in report.summary()

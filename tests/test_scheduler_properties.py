@@ -255,6 +255,46 @@ def test_property_hfsp_training_converges_to_mean(durations, training_samples):
             assert sched.estimated_size_s("sig") == pytest.approx(expected)
 
 
+def test_hfsp_killed_app_does_not_train_signature():
+    """Regression: a kill racing the AM's completion used to fold the
+    truncated duration into the signature's mean and count toward
+    training_samples — graduating the signature on garbage."""
+    cluster = mk_cluster(2, HFSPScheduler(training_samples=1))
+    sched = cluster.scheduler
+    app = hfsp_app(cluster, "app_0001", "sig", submit_time=0.0)
+    app.launch_time = 0.0
+    app.killed = True
+    cluster.env._now = 3.0  # direct clock poke: pure accounting check
+    sched.on_app_finished(app)
+    assert "sig" not in sched.sizes
+    assert not sched.is_trained("sig")
+    assert sched.estimated_size_s("sig") == sched.initial_guess_s
+
+
+def test_hfsp_failed_result_does_not_train_signature():
+    """Same rule via the result path: an AM that died with attempts
+    exhausted reports failed=True and must leave the estimate alone; the
+    next clean run still trains normally."""
+
+    class Outcome:
+        def __init__(self, killed=False, failed=False):
+            self.killed = killed
+            self.failed = failed
+
+    cluster = mk_cluster(2, HFSPScheduler(training_samples=1))
+    sched = cluster.scheduler
+    app = hfsp_app(cluster, "app_0001", "sig", submit_time=0.0)
+    app.launch_time = 0.0
+    cluster.env._now = 3.0
+    sched.on_app_finished(app, Outcome(failed=True))
+    sched.on_app_finished(app, Outcome(killed=True))
+    assert "sig" not in sched.sizes
+    sched.on_app_finished(app, Outcome())
+    cluster.env._now = 0.0
+    assert sched.is_trained("sig")
+    assert sched.estimated_size_s("sig") == pytest.approx(3.0)
+
+
 # -- network max-min properties -----------------------------------------------------
 
 @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3),
